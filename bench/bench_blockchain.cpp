@@ -1,0 +1,49 @@
+// Fig. 6 — Block Chain Management and Verification.
+//
+// For every intersection type and density the paper lists on its y-axis,
+// measures the wall-clock cost of
+//   * IM-side block management: scheduling the window's requests + packaging
+//     and signing the block (SHA-256 + RSA-2048, as in the paper), and
+//   * vehicle-side verification: full Algorithm 1 on each received block.
+// The paper reports the total staying under ~20 ms per block.
+#include "support.h"
+
+using namespace nwade;
+using namespace nwade::bench;
+
+int main() {
+  banner("Fig. 6: Block Chain Management and Verification (wall clock)",
+         "NWADE Fig. 6 — per-block cost, 5 intersection types x densities");
+
+  row({"Intersection (density)", "IM mgmt (ms)", "veh verify (ms)", "blocks"}, 26);
+
+  const std::vector<double> densities = {40, 80, 120};
+  for (traffic::IntersectionKind kind : traffic::kAllIntersectionKinds) {
+    for (double density : densities) {
+      sim::ScenarioConfig cfg = default_scenario();
+      cfg.intersection.kind = kind;
+      cfg.vehicles_per_minute = density;
+      cfg.signer = sim::SignerKind::kRsa2048;  // paper: 2048-bit IM key
+      cfg.duration_ms = std::min<Duration>(run_duration_ms(), 60'000);
+      cfg.seed = 42;
+      sim::World world(cfg);
+      const sim::RunSummary s = world.run();
+
+      const double im_ms = protocol::Metrics::mean(s.metrics.im_package_us) / 1000.0;
+      const double veh_ms =
+          protocol::Metrics::mean(s.metrics.vehicle_verify_us) / 1000.0;
+      char label[64];
+      std::snprintf(label, sizeof(label), "%s (%.0f)", intersection_name(kind),
+                    density);
+      row({label, fmt(im_ms, 2), fmt(veh_ms, 2),
+           std::to_string(s.metrics.blocks_published)},
+          26);
+    }
+  }
+  std::printf(
+      "\npaper shape: overall per-block calculation time stays in the low\n"
+      "milliseconds (paper: < 20 ms), dominated by the RSA-2048 signature on\n"
+      "the IM side; vehicle-side verification (signature check with e=65537 +\n"
+      "Merkle recomputation + plan conflict check) is cheaper.\n");
+  return 0;
+}

@@ -1,0 +1,140 @@
+// Microbenchmarks for the cryptographic substrate behind Fig. 6: SHA-256,
+// HMAC, RSA sign/verify at the paper's key size, Merkle packaging, and full
+// block package/verify cycles.
+#include <benchmark/benchmark.h>
+
+#include "chain/block.h"
+#include "crypto/merkle.h"
+#include "crypto/rsa.h"
+#include "crypto/sha256.h"
+#include "crypto/signer.h"
+
+namespace {
+
+using namespace nwade;
+using namespace nwade::crypto;
+
+Bytes test_data(std::size_t size) {
+  Bytes data(size);
+  Rng rng(99);
+  for (auto& b : data) b = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+  return data;
+}
+
+void BM_Sha256(benchmark::State& state) {
+  const Bytes data = test_data(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sha256(data));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_Sha256)->Arg(64)->Arg(1024)->Arg(65536);
+
+void BM_HmacSha256(benchmark::State& state) {
+  const Bytes key = test_data(32);
+  const Bytes data = test_data(1024);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hmac_sha256(key, data));
+  }
+}
+BENCHMARK(BM_HmacSha256);
+
+const RsaKeyPair& key_of(int bits) {
+  static RsaKeyPair k1024 = [] {
+    Rng rng(1);
+    return rsa_generate(rng, 1024);
+  }();
+  static RsaKeyPair k2048 = [] {
+    Rng rng(2);
+    return rsa_generate(rng, 2048);
+  }();
+  return bits == 1024 ? k1024 : k2048;
+}
+
+void BM_RsaSign(benchmark::State& state) {
+  const auto& key = key_of(static_cast<int>(state.range(0)));
+  const Bytes msg = test_data(512);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rsa_sign(key.priv, msg));
+  }
+}
+BENCHMARK(BM_RsaSign)->Arg(1024)->Arg(2048)->Unit(benchmark::kMillisecond);
+
+void BM_RsaVerify(benchmark::State& state) {
+  const auto& key = key_of(static_cast<int>(state.range(0)));
+  const Bytes msg = test_data(512);
+  const Bytes sig = rsa_sign(key.priv, msg);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rsa_verify(key.pub, msg, sig));
+  }
+}
+BENCHMARK(BM_RsaVerify)->Arg(1024)->Arg(2048)->Unit(benchmark::kMicrosecond);
+
+void BM_MerkleBuild(benchmark::State& state) {
+  std::vector<Bytes> leaves;
+  for (int i = 0; i < state.range(0); ++i) leaves.push_back(test_data(120));
+  for (auto _ : state) {
+    MerkleTree tree(leaves);
+    benchmark::DoNotOptimize(tree.root());
+  }
+}
+BENCHMARK(BM_MerkleBuild)->Arg(2)->Arg(16)->Arg(128);
+
+void BM_MerkleProveVerify(benchmark::State& state) {
+  std::vector<Bytes> leaves;
+  for (int i = 0; i < 64; ++i) leaves.push_back(test_data(120));
+  MerkleTree tree(leaves);
+  for (auto _ : state) {
+    const auto proof = tree.prove(31);
+    benchmark::DoNotOptimize(MerkleTree::verify(leaves[31], proof, tree.root()));
+  }
+}
+BENCHMARK(BM_MerkleProveVerify);
+
+aim::TravelPlan micro_plan(std::uint64_t vid) {
+  aim::TravelPlan p;
+  p.vehicle = VehicleId{vid};
+  p.route_id = static_cast<int>(vid % 12);
+  p.segments = {aim::PlanSegment{0, 0, 15.0}, aim::PlanSegment{12'000, 180, 20.0}};
+  return p;
+}
+
+void BM_BlockPackage(benchmark::State& state) {
+  Rng rng(5);
+  const auto signer = RsaSigner::generate(rng, 2048);
+  std::vector<aim::TravelPlan> plans;
+  for (int i = 0; i < state.range(0); ++i) {
+    plans.push_back(micro_plan(static_cast<std::uint64_t>(i) + 1));
+  }
+  Digest prev{};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        chain::Block::package(1, prev, 1000, plans, *signer));
+  }
+}
+BENCHMARK(BM_BlockPackage)->Arg(1)->Arg(8)->Arg(32)->Unit(benchmark::kMillisecond);
+
+void BM_BlockStructuralVerify(benchmark::State& state) {
+  Rng rng(6);
+  const auto signer = RsaSigner::generate(rng, 2048);
+  std::vector<aim::TravelPlan> plans;
+  for (int i = 0; i < state.range(0); ++i) {
+    plans.push_back(micro_plan(static_cast<std::uint64_t>(i) + 1));
+  }
+  const chain::Block block = chain::Block::package(1, {}, 1000, plans, *signer);
+  const auto verifier = signer->verifier();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(block.verify_signature(*verifier));
+    benchmark::DoNotOptimize(block.verify_merkle());
+  }
+}
+BENCHMARK(BM_BlockStructuralVerify)
+    ->Arg(1)
+    ->Arg(8)
+    ->Arg(32)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

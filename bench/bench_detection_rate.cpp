@@ -1,0 +1,54 @@
+// Fig. 4 — Detection Rate under Different Vehicle Densities.
+//
+// Sweeps density 20..120 veh/min on the 4-way cross and measures, per attack
+// setting, how often the real plan violation is detected and confirmed
+// (evacuation alert from a benign IM, or global/self-evacuation consensus
+// when the IM is compromised).
+#include "support.h"
+
+using namespace nwade;
+using namespace nwade::bench;
+
+int main() {
+  banner("Fig. 4: Detection Rate under Different Vehicle Densities",
+         "NWADE Fig. 4 — deviation detection rate, 4-way cross, 20-120 veh/min");
+
+  const std::vector<double> densities = {20, 40, 60, 80, 100, 120};
+  const std::vector<std::string> settings = {"V1", "V3", "V10", "IM_V1", "IM_V3",
+                                             "IM_V10"};
+
+  std::vector<std::string> header = {"Setting"};
+  for (double d : densities) header.push_back(fmt(d, 0) + " vpm");
+  row(header, 12);
+
+  for (const std::string& name : settings) {
+    std::vector<std::string> cells = {name};
+    for (double density : densities) {
+      int detected = 0, applicable = 0;
+      for (int round = 0; round < rounds(); ++round) {
+        sim::ScenarioConfig cfg = default_scenario();
+        cfg.attack = protocol::attack_setting_by_name(name);
+        // Isolate the violation-detection question: the colluding IM
+        // stonewalls reports (kSilence). Its own conflicting-plans attack is
+        // measured separately (Fig. 7 and the ImAttack tests).
+        cfg.im_attack_mode = protocol::ImAttackMode::kSilence;
+        cfg.vehicles_per_minute = density;
+        cfg.seed = 7000 + static_cast<std::uint64_t>(round) * 131 +
+                   static_cast<std::uint64_t>(density);
+        sim::World world(cfg);
+        const sim::RunSummary s = world.run();
+        if (!s.metrics.violation_start) continue;  // attack never materialized
+        ++applicable;
+        if (s.metrics.deviation_confirmed) ++detected;
+      }
+      cells.push_back(applicable > 0
+                          ? pct(static_cast<double>(detected) / applicable)
+                          : std::string("n/a"));
+    }
+    row(cells, 12);
+  }
+  std::printf(
+      "\npaper shape: 100%% detection with a benign IM at every density;\n"
+      ">= 80%% when the IM colludes with the attackers (IM_V* settings).\n");
+  return 0;
+}

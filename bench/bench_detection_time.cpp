@@ -1,0 +1,64 @@
+// Fig. 5 — Detection Time.
+//
+// Measures, at a 4-way cross across densities, the simulated time NWADE needs
+// to handle the two report kinds the paper plots:
+//   * plan-deviation reports: first benign incident report -> confirmation
+//     (the protocol latency the paper's ~360 ms bound refers to), plus the
+//     total time from the physical violation for context;
+//   * wrong-travel-plan reports (Type B lies): injection -> peer refutation.
+#include "support.h"
+
+using namespace nwade;
+using namespace nwade::bench;
+
+int main() {
+  banner("Fig. 5: Detection Time",
+         "NWADE Fig. 5 — deviation-report and wrong-plan-report handling time");
+
+  const std::vector<double> densities = {20, 40, 60, 80, 100, 120};
+  row({"Density", "deviation rpt->confirm", "violation->confirm", "wrong-plan refute"},
+      24);
+
+  for (double density : densities) {
+    std::vector<double> report_to_confirm, violation_to_confirm, type_b_detect;
+    for (int round = 0; round < rounds(); ++round) {
+      {
+        sim::ScenarioConfig cfg = default_scenario();
+        cfg.attack = protocol::attack_setting_by_name("V1");
+        cfg.vehicles_per_minute = density;
+        cfg.seed = 9100 + static_cast<std::uint64_t>(round) * 17 +
+                   static_cast<std::uint64_t>(density);
+        const sim::RunSummary s = sim::World(cfg).run();
+        if (s.metrics.first_true_incident && s.metrics.deviation_confirmed) {
+          report_to_confirm.push_back(static_cast<double>(
+              *s.metrics.deviation_confirmed - *s.metrics.first_true_incident));
+        }
+        if (const auto dt = s.metrics.deviation_detection_time()) {
+          violation_to_confirm.push_back(static_cast<double>(*dt));
+        }
+      }
+      {
+        sim::ScenarioConfig cfg = default_scenario();
+        cfg.attack = protocol::attack_setting_by_name("V2");
+        cfg.false_report_kind = protocol::FalseReportKind::kWrongPlans;
+        cfg.vehicles_per_minute = density;
+        cfg.seed = 9300 + static_cast<std::uint64_t>(round) * 23 +
+                   static_cast<std::uint64_t>(density);
+        const sim::RunSummary s = sim::World(cfg).run();
+        if (const auto dt = s.metrics.false_global_detection_time()) {
+          type_b_detect.push_back(static_cast<double>(*dt));
+        }
+      }
+    }
+    row({fmt(density, 0) + " vpm", fmt(mean(report_to_confirm), 0) + " ms",
+         fmt(mean(violation_to_confirm), 0) + " ms",
+         fmt(mean(type_b_detect), 0) + " ms"},
+        24);
+  }
+  std::printf(
+      "\npaper shape: both report kinds are handled in well under a second\n"
+      "(paper: < 360 ms at 50 mph ~ 8 m displacement); the physical\n"
+      "violation->confirmation column adds the time the deviation needs to\n"
+      "exceed the watcher tolerance.\n");
+  return 0;
+}

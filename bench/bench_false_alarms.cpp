@@ -1,0 +1,86 @@
+// Table II — False Alarm Rate.
+//
+// For every Table I attack setting, runs the false-alarm experiments:
+//   Type A: attackers claim a benign vehicle violates its travel plan.
+//   Type B: attackers claim the IM issued conflicting travel plans.
+// Reports the trigger rate (fraction of rounds where any benign vehicle was
+// evacuated because of the lie) and the detection rate (fraction of rounds
+// where the lie was identified: dismissed by the IM or refuted by peers).
+// Type B is N/A for malicious-IM settings, as in the paper.
+#include "support.h"
+
+using namespace nwade;
+using namespace nwade::bench;
+
+namespace {
+
+struct Rates {
+  double trigger{0};
+  double detect{0};
+  int applicable{0};
+};
+
+Rates measure(const protocol::AttackSetting& setting,
+              protocol::FalseReportKind kind) {
+  int triggered = 0, detected = 0, applicable = 0;
+  for (int round = 0; round < rounds(); ++round) {
+    sim::ScenarioConfig cfg = default_scenario();
+    cfg.attack = setting;
+    cfg.false_report_kind = kind;
+    // Table II isolates the false-REPORT attack: a colluding IM stonewalls
+    // (kSilence); the conflicting-plans attack is Fig. 7's global-report
+    // experiment and the ImAttack tests.
+    cfg.im_attack_mode = protocol::ImAttackMode::kSilence;
+    cfg.seed = 1000 + static_cast<std::uint64_t>(round) * 31;
+    sim::World world(cfg);
+    const sim::RunSummary s = world.run();
+
+    const bool injected = kind == protocol::FalseReportKind::kIncident
+                              ? s.metrics.false_incident_injected.has_value()
+                              : s.metrics.false_global_injected.has_value();
+    if (!injected && setting.false_reports > 0) continue;  // attacker never fired
+    ++applicable;
+    if (s.metrics.false_alarm_evacuations > 0) ++triggered;
+    const bool caught = kind == protocol::FalseReportKind::kIncident
+                            ? s.metrics.false_incident_dismissed.has_value()
+                            : s.metrics.false_global_detected.has_value();
+    // Settings without false reporters (V1, IM) can neither trigger nor be
+    // "caught"; count them as clean rounds with nothing to detect.
+    if (setting.false_reports == 0) {
+      if (s.metrics.false_alarm_evacuations == 0) ++detected;
+    } else if (caught) {
+      ++detected;
+    }
+  }
+  Rates r;
+  if (applicable > 0) {
+    r.trigger = static_cast<double>(triggered) / applicable;
+    r.detect = static_cast<double>(detected) / applicable;
+  }
+  r.applicable = applicable;
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  banner("Table II: False Alarm Rate (trigger / detection)",
+         "NWADE Table II — false alarm types A and B per attack setting");
+
+  row({"Setting", "TypeA trig", "TypeA det", "TypeB trig", "TypeB det"});
+  for (const auto& setting : protocol::table1_attack_settings()) {
+    const Rates a = measure(setting, protocol::FalseReportKind::kIncident);
+    std::string b_trig = "N/A", b_det = "N/A";
+    if (!setting.im_malicious) {
+      const Rates b = measure(setting, protocol::FalseReportKind::kWrongPlans);
+      b_trig = pct(b.trigger);
+      b_det = pct(b.detect);
+    }
+    row({setting.name, pct(a.trigger), pct(a.detect), b_trig, b_det});
+  }
+  std::printf(
+      "\npaper shape: Type B always 0%% trigger / 100%% detection (blockchain\n"
+      "verification defeats wrong-plan claims); Type A triggers only when many\n"
+      "colluders amplify reports (V10, IM_V5, IM_V10), detection stays 100%%.\n");
+  return 0;
+}

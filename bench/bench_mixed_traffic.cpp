@@ -1,0 +1,60 @@
+// Extension bench — mixed autonomous/legacy traffic (the paper's stated
+// future work: "the transitional period when there is a mix of autonomous
+// vehicles and legacy vehicles").
+//
+// Sweeps the legacy penetration rate and reports managed/legacy throughput,
+// safety-audit violations, and whether attack detection still works with
+// legacy bystanders in every sensor's view.
+#include "support.h"
+
+using namespace nwade;
+using namespace nwade::bench;
+
+int main() {
+  banner("Extension: mixed autonomous + legacy traffic",
+         "NWADE Section VII future work — transitional-period penetration sweep");
+
+  // Two separate questions: (1) benign mixed traffic — service and safety;
+  // (2) an attacked run — does detection survive legacy bystanders? The
+  // audit is only meaningful in (1): in (2) the deviator physically plows
+  // through traffic and legacy vehicles cannot obey evacuation plans, which
+  // is precisely the open problem of the transitional period.
+  row({"legacy share", "managed vpm", "legacy vpm", "audit pair-sec",
+       "V1 detected"},
+      18);
+  for (double fraction : {0.0, 0.2, 0.4, 0.6}) {
+    std::vector<double> managed, legacy;
+    int violations = 0, detected = 0, applicable = 0;
+    for (int round = 0; round < rounds(); ++round) {
+      sim::ScenarioConfig benign = default_scenario();
+      benign.vehicles_per_minute = 60;
+      benign.legacy_fraction = fraction;
+      benign.seed = 8800 + static_cast<std::uint64_t>(round);
+      const sim::RunSummary sb = sim::World(benign).run();
+      const double minutes = ticks_to_seconds(benign.duration_ms) / 60.0;
+      managed.push_back(sb.throughput_vpm);
+      legacy.push_back(sb.legacy_exited / minutes);
+      violations += sb.min_ground_truth_gap_violations;
+
+      sim::ScenarioConfig attacked = benign;
+      attacked.attack = protocol::attack_setting_by_name("V1");
+      const sim::RunSummary sa = sim::World(attacked).run();
+      if (sa.metrics.violation_start) {
+        ++applicable;
+        if (sa.metrics.deviation_confirmed) ++detected;
+      }
+    }
+    row({pct(fraction), fmt(mean(managed), 1), fmt(mean(legacy), 1),
+         std::to_string(violations),
+         applicable > 0 ? pct(static_cast<double>(detected) / applicable)
+                        : std::string("n/a")},
+        18);
+  }
+  std::printf(
+      "\nexpected shape: under benign mixed traffic, service shifts from the\n"
+      "managed to the legacy column as penetration grows (legacy vehicles\n"
+      "cross slower and force conservative virtual reservations), the safety\n"
+      "audit stays near zero, and in attacked runs the neighbourhood watch\n"
+      "keeps catching plan violations despite legacy bystanders.\n");
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Fig. 7 — Network Load.
+//
+// Total packets in the network at a 4-way intersection under the paper's
+// three event types: (i) no attack, (ii) local (incident) reports being sent,
+// (iii) global reports being sent. Also breaks the total down by message kind.
+#include "support.h"
+
+#include <algorithm>
+
+using namespace nwade;
+using namespace nwade::bench;
+
+namespace {
+
+sim::RunSummary run_case(const std::string& label, sim::ScenarioConfig cfg) {
+  cfg.seed = 77;
+  sim::World world(cfg);
+  const sim::RunSummary s = world.run();
+  std::printf("\n--- %s ---\n", label.c_str());
+  row({"total packets", std::to_string(s.net_stats.packets_sent)}, 22);
+  row({"bytes", std::to_string(s.net_stats.bytes_sent)}, 22);
+  // Per-kind breakdown, largest first.
+  std::vector<std::pair<std::string, std::uint64_t>> kinds(
+      s.net_stats.packets_by_kind.begin(), s.net_stats.packets_by_kind.end());
+  std::sort(kinds.begin(), kinds.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+  for (const auto& [kind, count] : kinds) {
+    row({"  " + kind, std::to_string(count)}, 22);
+  }
+  return s;
+}
+
+}  // namespace
+
+int main() {
+  banner("Fig. 7: Network Load (total packets by event type)",
+         "NWADE Fig. 7 — no attack / local reports / global reports");
+
+  // (i) No attack.
+  sim::ScenarioConfig benign = default_scenario();
+  const auto s_none = run_case("no attack", benign);
+
+  // (ii) Local reports: a single deviator triggers incident reporting and
+  // verification rounds, with a benign IM.
+  sim::ScenarioConfig local = default_scenario();
+  local.attack = protocol::attack_setting_by_name("V1");
+  const auto s_local = run_case("local reports sent (V1)", local);
+
+  // (iii) Global reports: a compromised IM issues conflicting plans; vehicles
+  // broadcast global reports and self-evacuate.
+  sim::ScenarioConfig global = default_scenario();
+  global.attack = protocol::attack_setting_by_name("IM");
+  const auto s_global = run_case("global reports sent (IM)", global);
+
+  std::printf(
+      "\npaper shape: the security machinery adds only a modest number of\n"
+      "packets on top of the baseline plan dissemination; local-report events\n"
+      "add unicast report/verify traffic (%llu -> %llu), global-report events\n"
+      "add broadcast warnings (%llu -> %llu).\n",
+      static_cast<unsigned long long>(s_none.net_stats.packets_sent),
+      static_cast<unsigned long long>(s_local.net_stats.packets_sent),
+      static_cast<unsigned long long>(s_none.net_stats.packets_sent),
+      static_cast<unsigned long long>(s_global.net_stats.packets_sent));
+  return 0;
+}

@@ -1,0 +1,95 @@
+// Threat model (iii): the intersection manager itself is compromised.
+//
+// A malicious IM issues a pair of conflicting travel plans (two vehicles
+// scheduled through the same conflict zone at the same time) and stonewalls
+// all incident reports. This example narrates, step by step, how the
+// blockchain verification layer catches the attack and how vehicles
+// self-evacuate and warn each other — scenario (c) in the paper's Fig. 1.
+//
+// Run: ./build/examples/compromised_im
+#include <cstdio>
+
+#include "sim/world.h"
+
+using namespace nwade;
+
+namespace {
+
+const char* tick_fmt(Tick t, char* buf) {
+  std::snprintf(buf, 32, "%6.1f s", ticks_to_seconds(t));
+  return buf;
+}
+
+}  // namespace
+
+int main() {
+  sim::ScenarioConfig cfg;
+  cfg.intersection.kind = traffic::IntersectionKind::kCross4;
+  cfg.vehicles_per_minute = 80;
+  cfg.duration_ms = 70'000;
+  cfg.attack = protocol::attack_setting_by_name("IM");
+  cfg.im_attack_mode = protocol::ImAttackMode::kConflictingPlansAndSilence;
+  cfg.attack_time = 30'000;
+  cfg.seed = 2022;
+
+  std::printf("scenario: 4-way cross, 80 veh/min; at t=30 s the IM turns\n");
+  std::printf("malicious: it warps one fresh travel plan onto a colliding\n");
+  std::printf("trajectory and stops answering incident reports.\n\n");
+
+  sim::World world(cfg);
+
+  // Drive the run in 1-second slices and narrate state changes.
+  bool injected = false, detected = false;
+  int last_self_evac = 0, last_globals = 0;
+  char buf[32];
+  for (Tick t = 1000; t <= cfg.duration_ms; t += 1000) {
+    world.run_until(t);
+    const auto& m = world.metrics();
+    if (!injected && m.im_conflict_injected) {
+      injected = true;
+      std::printf("[%s] ATTACK: malicious IM published a block with two plans\n",
+                  tick_fmt(*m.im_conflict_injected, buf));
+      std::printf("           that collide inside a shared conflict zone\n");
+    }
+    if (!detected && m.im_conflict_detected) {
+      detected = true;
+      std::printf("[%s] DETECTED: a vehicle's block verification (Algorithm 1)\n",
+                  tick_fmt(*m.im_conflict_detected, buf));
+      std::printf("           found the conflicting plans -> self-evacuation +\n");
+      std::printf("           global report broadcast\n");
+    }
+    if (m.benign_self_evacuations > last_self_evac) {
+      std::printf("[%s] %d vehicles are now self-evacuating (was %d)\n",
+                  tick_fmt(t, buf), m.benign_self_evacuations, last_self_evac);
+      last_self_evac = m.benign_self_evacuations;
+    }
+    if (m.global_reports > last_globals + 50) {
+      std::printf("[%s] %d global warning broadcasts so far\n", tick_fmt(t, buf),
+                  m.global_reports);
+      last_globals = m.global_reports;
+    }
+  }
+
+  const auto summary = world.summary();
+  const auto& m = summary.metrics;
+  std::printf("\n--- outcome ---\n");
+  std::printf("conflict injected:   %s\n", m.im_conflict_injected ? "yes" : "no");
+  std::printf("conflict detected:   %s", m.im_conflict_detected ? "yes" : "no");
+  if (m.im_conflict_injected && m.im_conflict_detected) {
+    std::printf("  (after %lld ms — one broadcast latency + verification)",
+                static_cast<long long>(*m.im_conflict_detected -
+                                       *m.im_conflict_injected));
+  }
+  std::printf("\nblock verifications that failed: %d\n",
+              m.block_verification_failures);
+  std::printf("benign vehicles that self-evacuated: %d\n",
+              m.benign_self_evacuations);
+  std::printf("global reports broadcast: %d\n", m.global_reports);
+  std::printf("vehicles that still exited safely: %d of %d\n", m.vehicles_exited,
+              m.vehicles_spawned);
+  std::printf("\nNo vehicle followed the colliding plans: the signature told them\n");
+  std::printf("the block was genuine, and recomputing the plans' conflict zones\n");
+  std::printf("told them the *content* was lethal — exactly the gap NWADE fills\n");
+  std::printf("over message-authentication-only schemes.\n");
+  return 0;
+}

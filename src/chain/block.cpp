@@ -1,0 +1,105 @@
+#include "chain/block.h"
+
+namespace nwade::chain {
+
+crypto::MerkleTree Block::build_tree(const std::vector<aim::TravelPlan>& plans) {
+  std::vector<Bytes> leaves;
+  leaves.reserve(plans.size());
+  for (const aim::TravelPlan& p : plans) leaves.push_back(p.serialize());
+  return crypto::MerkleTree(leaves);
+}
+
+Bytes Block::signed_payload() const {
+  ByteWriter w;
+  w.u64(seq);
+  w.bytes(prev_hash);
+  w.i64(timestamp);
+  w.bytes(merkle_root);
+  w.u32(static_cast<std::uint32_t>(revoked.size()));
+  for (VehicleId v : revoked) w.u64(v.value);
+  return w.take();
+}
+
+crypto::Digest Block::hash() const {
+  crypto::Sha256 h;
+  h.update(signature);
+  h.update(signed_payload());
+  return h.finish();
+}
+
+Block Block::package(BlockSeq seq, const crypto::Digest& prev_hash, Tick timestamp,
+                     std::vector<aim::TravelPlan> plans,
+                     const crypto::Signer& signer, std::vector<VehicleId> revoked) {
+  Block b;
+  b.seq = seq;
+  b.prev_hash = prev_hash;
+  b.timestamp = timestamp;
+  b.plans = std::move(plans);
+  b.revoked = std::move(revoked);
+  b.merkle_root = build_tree(b.plans).root();
+  b.signature = signer.sign(b.signed_payload());
+  return b;
+}
+
+bool Block::verify_signature(const crypto::Verifier& verifier) const {
+  return verifier.verify(signed_payload(), signature);
+}
+
+bool Block::verify_merkle() const { return build_tree(plans).root() == merkle_root; }
+
+const aim::TravelPlan* Block::plan_for(VehicleId id) const {
+  for (const aim::TravelPlan& p : plans) {
+    if (p.vehicle == id) return &p;
+  }
+  return nullptr;
+}
+
+crypto::MerkleProof Block::prove_plan(std::size_t index) const {
+  return build_tree(plans).prove(index);
+}
+
+Bytes Block::serialize() const {
+  ByteWriter w;
+  w.bytes(signature);
+  w.bytes(prev_hash);
+  w.i64(timestamp);
+  w.bytes(merkle_root);
+  w.u64(seq);
+  w.u32(static_cast<std::uint32_t>(revoked.size()));
+  for (VehicleId v : revoked) w.u64(v.value);
+  w.u32(static_cast<std::uint32_t>(plans.size()));
+  for (const aim::TravelPlan& p : plans) w.bytes(p.serialize());
+  return w.take();
+}
+
+std::optional<Block> Block::deserialize(const Bytes& data) {
+  ByteReader r(data);
+  Block b;
+  b.signature = r.bytes();
+  const Bytes prev = r.bytes();
+  if (prev.size() != b.prev_hash.size()) return std::nullopt;
+  std::copy(prev.begin(), prev.end(), b.prev_hash.begin());
+  b.timestamp = r.i64();
+  const Bytes root = r.bytes();
+  if (root.size() != b.merkle_root.size()) return std::nullopt;
+  std::copy(root.begin(), root.end(), b.merkle_root.begin());
+  b.seq = r.u64();
+  const std::uint32_t n_revoked = r.u32();
+  if (n_revoked > 100000) return std::nullopt;
+  b.revoked.reserve(n_revoked);
+  for (std::uint32_t i = 0; i < n_revoked; ++i) b.revoked.push_back(VehicleId{r.u64()});
+  const std::uint32_t n = r.u32();
+  if (n > 100000) return std::nullopt;
+  b.plans.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    auto plan = aim::TravelPlan::deserialize(r.bytes());
+    if (!plan) return std::nullopt;
+    b.plans.push_back(std::move(*plan));
+  }
+  if (!r.ok() || !r.at_end()) return std::nullopt;
+  return b;
+}
+
+std::size_t Block::wire_size() const { return serialize().size(); }
+
+}  // namespace nwade::chain

@@ -1,0 +1,73 @@
+// The travel-plan blockchain block (paper Eq. 1 and Fig. 3):
+//
+//   B_i = < s_i, h_{i-1}, tau_i, R_i >
+//
+// s_i     signature over <h_{i-1}, tau_i, R_i> by the intersection manager
+// h_{i-1} SHA-256 of the previous block
+// tau_i   timestamp of the processing window
+// R_i     Merkle root over the window's travel plans (plans ride along as
+//         the leaves, so receivers can re-derive and check R_i)
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "aim/plan.h"
+#include "crypto/merkle.h"
+#include "crypto/sha256.h"
+#include "crypto/signer.h"
+#include "util/types.h"
+
+namespace nwade::chain {
+
+/// Sequence number of a block within one intersection's chain (genesis = 0).
+using BlockSeq = std::uint64_t;
+
+struct Block {
+  Bytes signature;               ///< s_i
+  crypto::Digest prev_hash{};    ///< h_{i-1}
+  Tick timestamp{0};             ///< tau_i
+  crypto::Digest merkle_root{};  ///< R_i
+  BlockSeq seq{0};
+  std::vector<aim::TravelPlan> plans;  ///< the Merkle leaves
+  /// Vehicles whose earlier plans are void (confirmed threats). Carried in
+  /// every block (and covered by the signature) so vehicles that join after
+  /// an evacuation alert do not treat a revoked plan as live when checking
+  /// new blocks for conflicts.
+  std::vector<VehicleId> revoked;
+
+  /// The bytes that s_i signs: <seq, h_{i-1}, tau_i, R_i, revoked>.
+  Bytes signed_payload() const;
+
+  /// SHA-256 over the header (signature + signed payload); the next block's
+  /// h_{i-1}.
+  crypto::Digest hash() const;
+
+  /// Builds and signs a block over a window's plans.
+  static Block package(BlockSeq seq, const crypto::Digest& prev_hash, Tick timestamp,
+                       std::vector<aim::TravelPlan> plans, const crypto::Signer& signer,
+                       std::vector<VehicleId> revoked = {});
+
+  /// Signature check against the intersection manager's public key.
+  bool verify_signature(const crypto::Verifier& verifier) const;
+
+  /// Recomputes the Merkle root from `plans` and compares with `merkle_root`.
+  bool verify_merkle() const;
+
+  /// The plan for a given vehicle inside this block, if present.
+  const aim::TravelPlan* plan_for(VehicleId id) const;
+
+  /// Merkle membership proof for the plan at `index` (see MerkleTree).
+  crypto::MerkleProof prove_plan(std::size_t index) const;
+
+  Bytes serialize() const;
+  static std::optional<Block> deserialize(const Bytes& data);
+
+  /// Approximate wire size (for network-load accounting).
+  std::size_t wire_size() const;
+
+ private:
+  static crypto::MerkleTree build_tree(const std::vector<aim::TravelPlan>& plans);
+};
+
+}  // namespace nwade::chain

@@ -1,0 +1,45 @@
+#include "chain/store.h"
+
+namespace nwade::chain {
+
+const char* chain_error_name(ChainError e) {
+  switch (e) {
+    case ChainError::kBadSignature: return "bad_signature";
+    case ChainError::kBadMerkleRoot: return "bad_merkle_root";
+    case ChainError::kBrokenLinkage: return "broken_linkage";
+    case ChainError::kNonMonotonicSeq: return "non_monotonic_seq";
+    case ChainError::kStaleTimestamp: return "stale_timestamp";
+  }
+  return "?";
+}
+
+Result<void, ChainError> BlockStore::append(const Block& block,
+                                            const crypto::Verifier& verifier) {
+  if (!block.verify_signature(verifier)) return ChainError::kBadSignature;
+  if (!block.verify_merkle()) return ChainError::kBadMerkleRoot;
+  if (!blocks_.empty()) {
+    const Block& prev = blocks_.back();
+    if (block.seq != prev.seq + 1) return ChainError::kNonMonotonicSeq;
+    if (block.prev_hash != prev.hash()) return ChainError::kBrokenLinkage;
+    if (block.timestamp < prev.timestamp) return ChainError::kStaleTimestamp;
+  }
+  blocks_.push_back(block);
+  while (blocks_.size() > max_depth_) blocks_.pop_front();
+  return Result<void, ChainError>::ok();
+}
+
+const Block* BlockStore::by_seq(BlockSeq seq) const {
+  for (const Block& b : blocks_) {
+    if (b.seq == seq) return &b;
+  }
+  return nullptr;
+}
+
+const aim::TravelPlan* BlockStore::find_plan(VehicleId id) const {
+  for (auto it = blocks_.rbegin(); it != blocks_.rend(); ++it) {
+    if (const aim::TravelPlan* p = it->plan_for(id)) return p;
+  }
+  return nullptr;
+}
+
+}  // namespace nwade::chain

@@ -1,0 +1,59 @@
+// Vehicle-side bounded blockchain cache.
+//
+// "Each vehicle only needs to store the blockchain at its current
+// intersection... The maximum length of the chain that a vehicle needs to
+// cache and verify equals tau/delta" — crossing time over processing-window
+// length. The store enforces structural chain validity (signature, Merkle
+// root, prev-hash linkage) on append and evicts blocks beyond the depth
+// bound. Semantic plan-conflict checking lives in the NWADE protocol layer.
+#pragma once
+
+#include <deque>
+#include <optional>
+
+#include "chain/block.h"
+#include "util/result.h"
+
+namespace nwade::chain {
+
+/// Why an append was rejected; drives the vehicle FSM's reaction
+/// (any rejection == "the intersection manager is compromised").
+enum class ChainError {
+  kBadSignature,
+  kBadMerkleRoot,
+  kBrokenLinkage,     ///< prev_hash does not match our latest block
+  kNonMonotonicSeq,   ///< sequence number gap or replay
+  kStaleTimestamp,    ///< timestamp not increasing
+};
+
+const char* chain_error_name(ChainError e);
+
+class BlockStore {
+ public:
+  /// `max_depth` = tau/delta bound; older blocks are evicted after append.
+  explicit BlockStore(std::size_t max_depth = 64) : max_depth_(max_depth) {}
+
+  /// Validates and appends a block. On any failure the store is unchanged
+  /// and the error tells the caller what was wrong with the block.
+  Result<void, ChainError> append(const Block& block, const crypto::Verifier& verifier);
+
+  bool empty() const { return blocks_.empty(); }
+  std::size_t size() const { return blocks_.size(); }
+  std::size_t max_depth() const { return max_depth_; }
+
+  const Block* latest() const { return blocks_.empty() ? nullptr : &blocks_.back(); }
+  const Block* by_seq(BlockSeq seq) const;
+
+  /// All cached blocks, oldest first.
+  const std::deque<Block>& blocks() const { return blocks_; }
+
+  /// Finds a vehicle's most recent plan across cached blocks (newest wins —
+  /// evacuation/recovery plans supersede older ones).
+  const aim::TravelPlan* find_plan(VehicleId id) const;
+
+ private:
+  std::size_t max_depth_;
+  std::deque<Block> blocks_;
+};
+
+}  // namespace nwade::chain

@@ -1,0 +1,122 @@
+// Arbitrary-precision unsigned integers with the operations RSA needs:
+// add/sub/mul, division, modular exponentiation (Montgomery), modular inverse,
+// and byte/hex conversions. 64-bit little-endian limbs, 128-bit intermediate
+// arithmetic. Not constant-time: this is a simulation substrate, not a TLS
+// stack, and the paper's evaluation only depends on realistic cost shapes.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <string>
+#include <vector>
+
+#include "util/bytes.h"
+#include "util/rng.h"
+
+namespace nwade::crypto {
+
+/// Arbitrary-precision unsigned integer.
+class BigUint {
+ public:
+  BigUint() = default;
+  explicit BigUint(std::uint64_t v);
+
+  /// Parses big-endian bytes (leading zeros allowed).
+  static BigUint from_bytes(std::span<const std::uint8_t> be);
+
+  /// Parses a hex string (no 0x prefix); returns zero on malformed input.
+  static BigUint from_hex(std::string_view hex);
+
+  /// Uniformly random value with exactly `bits` bits (msb set). bits >= 2.
+  static BigUint random_bits(Rng& rng, int bits);
+
+  /// Uniformly random value in [2, bound-2]; bound must exceed 4.
+  static BigUint random_below(Rng& rng, const BigUint& bound);
+
+  bool is_zero() const { return limbs_.empty(); }
+  bool is_odd() const { return !limbs_.empty() && (limbs_[0] & 1); }
+  bool is_one() const { return limbs_.size() == 1 && limbs_[0] == 1; }
+
+  /// Number of significant bits (0 for zero).
+  int bit_length() const;
+  /// Value of bit i (0 = least significant).
+  bool bit(int i) const;
+
+  std::size_t limb_count() const { return limbs_.size(); }
+  std::uint64_t limb(std::size_t i) const { return i < limbs_.size() ? limbs_[i] : 0; }
+
+  /// Big-endian byte serialization, zero-padded to `min_len` if given.
+  Bytes to_bytes(std::size_t min_len = 0) const;
+  std::string to_hex() const;
+
+  /// Returns -1/0/+1 for this < / == / > other.
+  int compare(const BigUint& other) const;
+
+  bool operator==(const BigUint& o) const { return compare(o) == 0; }
+  bool operator!=(const BigUint& o) const { return compare(o) != 0; }
+  bool operator<(const BigUint& o) const { return compare(o) < 0; }
+  bool operator<=(const BigUint& o) const { return compare(o) <= 0; }
+  bool operator>(const BigUint& o) const { return compare(o) > 0; }
+  bool operator>=(const BigUint& o) const { return compare(o) >= 0; }
+
+  BigUint operator+(const BigUint& o) const;
+  /// Subtraction; requires *this >= o.
+  BigUint operator-(const BigUint& o) const;
+  BigUint operator*(const BigUint& o) const;
+  BigUint operator<<(int bits) const;
+  BigUint operator>>(int bits) const;
+
+  /// Quotient and remainder (in that order); divisor must be non-zero.
+  std::pair<BigUint, BigUint> divmod(const BigUint& divisor) const;
+
+  BigUint operator/(const BigUint& o) const { return divmod(o).first; }
+  BigUint operator%(const BigUint& o) const { return divmod(o).second; }
+
+  /// this^exp mod modulus. modulus must be odd (Montgomery) and > 1.
+  BigUint mod_pow(const BigUint& exp, const BigUint& modulus) const;
+
+  /// Modular inverse; returns zero when gcd(this, modulus) != 1.
+  BigUint mod_inverse(const BigUint& modulus) const;
+
+  static BigUint gcd(BigUint a, BigUint b);
+
+  /// Remainder of division by a small value.
+  std::uint64_t mod_u64(std::uint64_t m) const;
+
+ private:
+  void trim();
+  friend class Montgomery;
+
+  std::vector<std::uint64_t> limbs_;  // little-endian, normalized
+};
+
+/// Montgomery context for repeated modular multiplication mod an odd modulus.
+class Montgomery {
+ public:
+  explicit Montgomery(const BigUint& modulus);
+
+  /// x^e mod m using 4-bit fixed-window exponentiation.
+  BigUint pow(const BigUint& base, const BigUint& exp) const;
+
+  const BigUint& modulus() const { return modulus_; }
+
+ private:
+  std::vector<std::uint64_t> mont_mul(const std::vector<std::uint64_t>& a,
+                                      const std::vector<std::uint64_t>& b) const;
+  std::vector<std::uint64_t> to_mont(const BigUint& x) const;
+  BigUint from_mont(const std::vector<std::uint64_t>& x) const;
+
+  BigUint modulus_;
+  BigUint rr_;  // R^2 mod m, for conversion into Montgomery form
+  std::uint64_t n0_{0};  // -m^{-1} mod 2^64
+  std::size_t n_{0};
+};
+
+/// Miller–Rabin probabilistic primality test with `rounds` random bases.
+bool is_probable_prime(const BigUint& n, Rng& rng, int rounds = 32);
+
+/// Generates a random prime with exactly `bits` bits.
+BigUint generate_prime(Rng& rng, int bits);
+
+}  // namespace nwade::crypto

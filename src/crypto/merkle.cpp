@@ -1,0 +1,70 @@
+#include "crypto/merkle.h"
+
+namespace nwade::crypto {
+
+Digest MerkleTree::hash_leaf(const Bytes& leaf) {
+  Sha256 h;
+  const std::uint8_t tag = 0x00;
+  h.update(std::span<const std::uint8_t>(&tag, 1));
+  h.update(leaf);
+  return h.finish();
+}
+
+Digest MerkleTree::hash_interior(const Digest& left, const Digest& right) {
+  Sha256 h;
+  const std::uint8_t tag = 0x01;
+  h.update(std::span<const std::uint8_t>(&tag, 1));
+  h.update(left);
+  h.update(right);
+  return h.finish();
+}
+
+MerkleTree::MerkleTree(const std::vector<Bytes>& leaves) : leaf_count_(leaves.size()) {
+  if (leaves.empty()) {
+    root_ = sha256(std::string_view{});
+    return;
+  }
+  std::vector<Digest> level;
+  level.reserve(leaves.size());
+  for (const Bytes& leaf : leaves) level.push_back(hash_leaf(leaf));
+  levels_.push_back(level);
+  while (levels_.back().size() > 1) {
+    const auto& prev = levels_.back();
+    std::vector<Digest> next;
+    next.reserve((prev.size() + 1) / 2);
+    for (std::size_t i = 0; i < prev.size(); i += 2) {
+      // Odd node is paired with itself (Bitcoin-style duplication).
+      const Digest& right = (i + 1 < prev.size()) ? prev[i + 1] : prev[i];
+      next.push_back(hash_interior(prev[i], right));
+    }
+    levels_.push_back(std::move(next));
+  }
+  root_ = levels_.back()[0];
+}
+
+MerkleProof MerkleTree::prove(std::size_t index) const {
+  MerkleProof proof;
+  if (levels_.empty()) return proof;
+  std::size_t i = index;
+  for (std::size_t lvl = 0; lvl + 1 < levels_.size(); ++lvl) {
+    const auto& level = levels_[lvl];
+    const std::size_t sibling = (i % 2 == 0) ? i + 1 : i - 1;
+    MerkleStep step;
+    step.sibling = sibling < level.size() ? level[sibling] : level[i];
+    step.sibling_on_left = (i % 2 == 1);
+    proof.push_back(step);
+    i /= 2;
+  }
+  return proof;
+}
+
+bool MerkleTree::verify(const Bytes& leaf, const MerkleProof& proof, const Digest& root) {
+  Digest cur = hash_leaf(leaf);
+  for (const MerkleStep& step : proof) {
+    cur = step.sibling_on_left ? hash_interior(step.sibling, cur)
+                               : hash_interior(cur, step.sibling);
+  }
+  return cur == root;
+}
+
+}  // namespace nwade::crypto

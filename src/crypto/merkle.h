@@ -1,0 +1,56 @@
+// Merkle (hash) tree over travel plans.
+//
+// The paper stores "all the newly generated travel plans at the leaf nodes and
+// the hash values of the travel plans as internal nodes" and puts the root R_i
+// into each block (Fig. 3). We additionally expose membership proofs so a
+// vehicle can hand a neighbour a single plan plus an O(log n) proof instead of
+// the whole batch.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "crypto/sha256.h"
+#include "util/bytes.h"
+
+namespace nwade::crypto {
+
+/// One step of a Merkle membership proof.
+struct MerkleStep {
+  Digest sibling;
+  bool sibling_on_left{false};
+};
+
+using MerkleProof = std::vector<MerkleStep>;
+
+/// Immutable Merkle tree built over the serialized leaves.
+///
+/// Leaf hashes are domain-separated from interior hashes (0x00/0x01 prefixes)
+/// so a forged interior node can never masquerade as a leaf.
+class MerkleTree {
+ public:
+  /// Builds a tree over `leaves` (serialized plans). Empty input yields the
+  /// hash of the empty string as root.
+  explicit MerkleTree(const std::vector<Bytes>& leaves);
+
+  const Digest& root() const { return root_; }
+  std::size_t leaf_count() const { return leaf_count_; }
+
+  /// Membership proof for leaf `index`. index must be < leaf_count().
+  MerkleProof prove(std::size_t index) const;
+
+  /// Hash of a single leaf payload (domain-separated).
+  static Digest hash_leaf(const Bytes& leaf);
+
+  /// Verifies that `leaf` is at `index` under `root` given `proof`.
+  static bool verify(const Bytes& leaf, const MerkleProof& proof, const Digest& root);
+
+ private:
+  static Digest hash_interior(const Digest& left, const Digest& right);
+
+  std::vector<std::vector<Digest>> levels_;  // levels_[0] = leaf hashes
+  Digest root_{};
+  std::size_t leaf_count_{0};
+};
+
+}  // namespace nwade::crypto

@@ -1,0 +1,92 @@
+#include "crypto/rsa.h"
+
+#include <cassert>
+
+namespace nwade::crypto {
+namespace {
+
+// DER prefix for a SHA-256 DigestInfo (RFC 8017 §9.2 note 1).
+constexpr std::uint8_t kSha256DigestInfo[] = {
+    0x30, 0x31, 0x30, 0x0d, 0x06, 0x09, 0x60, 0x86, 0x48, 0x01,
+    0x65, 0x03, 0x04, 0x02, 0x01, 0x05, 0x00, 0x04, 0x20};
+
+/// EMSA-PKCS1-v1_5 encoding of a SHA-256 digest into `em_len` bytes.
+Bytes emsa_encode(const Digest& digest, std::size_t em_len) {
+  const std::size_t t_len = sizeof(kSha256DigestInfo) + digest.size();
+  assert(em_len >= t_len + 11);
+  Bytes em(em_len, 0xff);
+  em[0] = 0x00;
+  em[1] = 0x01;
+  em[em_len - t_len - 1] = 0x00;
+  std::copy(std::begin(kSha256DigestInfo), std::end(kSha256DigestInfo),
+            em.end() - static_cast<std::ptrdiff_t>(t_len));
+  std::copy(digest.begin(), digest.end(),
+            em.end() - static_cast<std::ptrdiff_t>(digest.size()));
+  return em;
+}
+
+}  // namespace
+
+RsaKeyPair rsa_generate(Rng& rng, int modulus_bits) {
+  assert(modulus_bits >= 256 && modulus_bits % 2 == 0);
+  const BigUint e(65537);
+  for (;;) {
+    BigUint p = generate_prime(rng, modulus_bits / 2);
+    BigUint q = generate_prime(rng, modulus_bits / 2);
+    if (p == q) continue;
+    if (p < q) std::swap(p, q);  // CRT convention: p > q
+    const BigUint n = p * q;
+    if (n.bit_length() != modulus_bits) continue;
+    const BigUint p1 = p - BigUint(1);
+    const BigUint q1 = q - BigUint(1);
+    const BigUint phi = p1 * q1;
+    if (BigUint::gcd(e, phi) != BigUint(1)) continue;
+    const BigUint d = e.mod_inverse(phi);
+    assert(!d.is_zero());
+
+    RsaKeyPair kp;
+    kp.pub = RsaPublicKey{n, e};
+    kp.priv.n = n;
+    kp.priv.d = d;
+    kp.priv.p = p;
+    kp.priv.q = q;
+    kp.priv.dp = d % p1;
+    kp.priv.dq = d % q1;
+    kp.priv.q_inv = q.mod_inverse(p);
+    return kp;
+  }
+}
+
+Bytes rsa_sign(const RsaPrivateKey& key, std::span<const std::uint8_t> msg) {
+  const std::size_t k = (key.n.bit_length() + 7) / 8;
+  const Bytes em = emsa_encode(sha256(msg), k);
+  const BigUint m = BigUint::from_bytes(em);
+
+  // CRT: s = CRT(m^dp mod p, m^dq mod q).
+  const BigUint s1 = (m % key.p).mod_pow(key.dp, key.p);
+  const BigUint s2 = (m % key.q).mod_pow(key.dq, key.q);
+  // h = q_inv * (s1 - s2) mod p
+  BigUint diff;
+  if (s1 >= s2 % key.p) {
+    diff = s1 - (s2 % key.p);
+  } else {
+    diff = s1 + key.p - (s2 % key.p);
+  }
+  const BigUint h = (key.q_inv * diff) % key.p;
+  const BigUint s = s2 + key.q * h;
+  return s.to_bytes(k);
+}
+
+bool rsa_verify(const RsaPublicKey& key, std::span<const std::uint8_t> msg,
+                std::span<const std::uint8_t> sig) {
+  const std::size_t k = key.modulus_bytes();
+  if (sig.size() != k) return false;
+  const BigUint s = BigUint::from_bytes(sig);
+  if (s >= key.n) return false;
+  const BigUint m = s.mod_pow(key.e, key.n);
+  const Bytes em = m.to_bytes(k);
+  const Bytes expected = emsa_encode(sha256(msg), k);
+  return em == expected;
+}
+
+}  // namespace nwade::crypto

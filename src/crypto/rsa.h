@@ -1,0 +1,50 @@
+// RSA signatures over SHA-256 (EMSA-PKCS#1 v1.5 style encoding), built on the
+// in-tree bignum. The paper signs each travel-plan block with the intersection
+// manager's 2048-bit private key; verification uses e = 65537 and is cheap,
+// which is exactly the asymmetry the NWADE design relies on (one signer, many
+// verifiers).
+#pragma once
+
+#include <optional>
+
+#include "crypto/bignum.h"
+#include "crypto/sha256.h"
+#include "util/rng.h"
+
+namespace nwade::crypto {
+
+/// RSA public key (n, e).
+struct RsaPublicKey {
+  BigUint n;
+  BigUint e;
+
+  /// Modulus size in bytes; signatures have exactly this length.
+  std::size_t modulus_bytes() const { return (n.bit_length() + 7) / 8; }
+};
+
+/// RSA private key with CRT parameters for ~4x faster signing.
+struct RsaPrivateKey {
+  BigUint n;
+  BigUint d;
+  BigUint p, q;
+  BigUint dp, dq;    // d mod (p-1), d mod (q-1)
+  BigUint q_inv;     // q^{-1} mod p
+};
+
+struct RsaKeyPair {
+  RsaPublicKey pub;
+  RsaPrivateKey priv;
+};
+
+/// Generates an RSA key pair with the given modulus size (e.g. 2048).
+/// Deterministic for a given rng state.
+RsaKeyPair rsa_generate(Rng& rng, int modulus_bits);
+
+/// Signs a message digest-first: sig = EMSA(sha256(msg))^d mod n.
+Bytes rsa_sign(const RsaPrivateKey& key, std::span<const std::uint8_t> msg);
+
+/// Verifies a signature produced by rsa_sign.
+bool rsa_verify(const RsaPublicKey& key, std::span<const std::uint8_t> msg,
+                std::span<const std::uint8_t> sig);
+
+}  // namespace nwade::crypto

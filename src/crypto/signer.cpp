@@ -1,0 +1,58 @@
+#include "crypto/signer.h"
+
+namespace nwade::crypto {
+
+namespace {
+
+class RsaVerifier final : public Verifier {
+ public:
+  explicit RsaVerifier(RsaPublicKey pub) : pub_(std::move(pub)) {}
+  bool verify(std::span<const std::uint8_t> msg,
+              std::span<const std::uint8_t> sig) const override {
+    return rsa_verify(pub_, msg, sig);
+  }
+
+ private:
+  RsaPublicKey pub_;
+};
+
+class HmacVerifier final : public Verifier {
+ public:
+  explicit HmacVerifier(Bytes key) : key_(std::move(key)) {}
+  bool verify(std::span<const std::uint8_t> msg,
+              std::span<const std::uint8_t> sig) const override {
+    const Digest mac = hmac_sha256(key_, msg);
+    return sig.size() == mac.size() && std::equal(sig.begin(), sig.end(), mac.begin());
+  }
+
+ private:
+  Bytes key_;
+};
+
+}  // namespace
+
+RsaSigner::RsaSigner(RsaKeyPair key_pair)
+    : key_(std::move(key_pair)),
+      verifier_(std::make_shared<RsaVerifier>(key_.pub)) {}
+
+std::unique_ptr<RsaSigner> RsaSigner::generate(Rng& rng, int modulus_bits) {
+  return std::make_unique<RsaSigner>(rsa_generate(rng, modulus_bits));
+}
+
+Bytes RsaSigner::sign(std::span<const std::uint8_t> msg) const {
+  return rsa_sign(key_.priv, msg);
+}
+
+std::shared_ptr<const Verifier> RsaSigner::verifier() const { return verifier_; }
+
+HmacSigner::HmacSigner(Bytes key)
+    : key_(std::move(key)), verifier_(std::make_shared<HmacVerifier>(key_)) {}
+
+Bytes HmacSigner::sign(std::span<const std::uint8_t> msg) const {
+  const Digest mac = hmac_sha256(key_, msg);
+  return Bytes(mac.begin(), mac.end());
+}
+
+std::shared_ptr<const Verifier> HmacSigner::verifier() const { return verifier_; }
+
+}  // namespace nwade::crypto

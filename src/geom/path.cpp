@@ -1,0 +1,173 @@
+#include "geom/path.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace nwade::geom {
+
+namespace {
+constexpr double kEps = 1e-9;
+}
+
+Path::Path(std::vector<Vec2> points) {
+  points_.reserve(points.size());
+  for (const Vec2& p : points) {
+    if (!points_.empty() && (p - points_.back()).norm() < kEps) continue;
+    points_.push_back(p);
+  }
+  if (points_.size() < 2) {
+    points_.clear();
+    return;
+  }
+  cumulative_.resize(points_.size());
+  cumulative_[0] = 0;
+  for (std::size_t i = 1; i < points_.size(); ++i) {
+    cumulative_[i] = cumulative_[i - 1] + (points_[i] - points_[i - 1]).norm();
+  }
+}
+
+std::size_t Path::segment_at(double s) const {
+  // Index of the segment [points_[i], points_[i+1]] containing arc length s.
+  const auto it = std::upper_bound(cumulative_.begin(), cumulative_.end(), s);
+  const std::size_t idx = static_cast<std::size_t>(it - cumulative_.begin());
+  if (idx == 0) return 0;
+  return std::min(idx - 1, points_.size() - 2);
+}
+
+Vec2 Path::point_at(double s) const {
+  if (empty()) return {};
+  s = std::clamp(s, 0.0, length());
+  const std::size_t i = segment_at(s);
+  const double seg_len = cumulative_[i + 1] - cumulative_[i];
+  const double t = seg_len > kEps ? (s - cumulative_[i]) / seg_len : 0.0;
+  return lerp(points_[i], points_[i + 1], t);
+}
+
+Vec2 Path::tangent_at(double s) const {
+  if (empty()) return {};
+  s = std::clamp(s, 0.0, length());
+  const std::size_t i = segment_at(s);
+  return (points_[i + 1] - points_[i]).normalized();
+}
+
+std::pair<double, double> Path::project(Vec2 p) const {
+  if (empty()) return {p.norm(), 0.0};
+  double best_dist = std::numeric_limits<double>::max();
+  double best_s = 0;
+  for (std::size_t i = 0; i + 1 < points_.size(); ++i) {
+    const Vec2 a = points_[i];
+    const Vec2 b = points_[i + 1];
+    const Vec2 ab = b - a;
+    const double len_sq = ab.norm_sq();
+    const double t = len_sq > kEps ? std::clamp((p - a).dot(ab) / len_sq, 0.0, 1.0) : 0.0;
+    const Vec2 closest = a + ab * t;
+    const double d = (p - closest).norm();
+    if (d < best_dist) {
+      best_dist = d;
+      best_s = cumulative_[i] + std::sqrt(len_sq) * t;
+    }
+  }
+  return {best_dist, best_s};
+}
+
+Path Path::joined(const Path& next) const {
+  std::vector<Vec2> pts = points_;
+  pts.insert(pts.end(), next.points_.begin(), next.points_.end());
+  return Path(std::move(pts));
+}
+
+std::vector<Vec2> Path::sample(double step) const {
+  assert(step > 0);
+  std::vector<Vec2> out;
+  if (empty()) return out;
+  for (double s = 0; s < length(); s += step) out.push_back(point_at(s));
+  out.push_back(point_at(length()));
+  return out;
+}
+
+Path Path::subpath(double s0, double s1) const {
+  if (empty()) return Path();
+  s0 = std::clamp(s0, 0.0, length());
+  s1 = std::clamp(s1, 0.0, length());
+  if (s1 - s0 < kEps) return Path();
+  std::vector<Vec2> pts;
+  pts.push_back(point_at(s0));
+  for (std::size_t i = 0; i < points_.size(); ++i) {
+    if (cumulative_[i] > s0 && cumulative_[i] < s1) pts.push_back(points_[i]);
+  }
+  pts.push_back(point_at(s1));
+  return Path(std::move(pts));
+}
+
+Path make_line(Vec2 a, Vec2 b) { return Path({a, b}); }
+
+Path make_arc(Vec2 center, double radius, double a0, double a1, int segments) {
+  assert(segments >= 2);
+  std::vector<Vec2> pts;
+  pts.reserve(static_cast<std::size_t>(segments) + 1);
+  for (int i = 0; i <= segments; ++i) {
+    const double t = static_cast<double>(i) / segments;
+    const double ang = a0 + (a1 - a0) * t;
+    pts.push_back(center + Vec2::from_polar(radius, ang));
+  }
+  return Path(std::move(pts));
+}
+
+Path make_bezier(Vec2 p0, Vec2 p1, Vec2 p2, Vec2 p3, int segments) {
+  assert(segments >= 2);
+  std::vector<Vec2> pts;
+  pts.reserve(static_cast<std::size_t>(segments) + 1);
+  for (int i = 0; i <= segments; ++i) {
+    const double t = static_cast<double>(i) / segments;
+    const double u = 1.0 - t;
+    const Vec2 p = p0 * (u * u * u) + p1 * (3 * u * u * t) + p2 * (3 * u * t * t) +
+                   p3 * (t * t * t);
+    pts.push_back(p);
+  }
+  return Path(std::move(pts));
+}
+
+std::vector<ConflictZone> find_conflicts(const Path& a, const Path& b,
+                                         double clearance, double step) {
+  std::vector<ConflictZone> zones;
+  if (a.empty() || b.empty()) return zones;
+
+  // Sample path A; for each sample, project onto B. Merge consecutive
+  // in-conflict samples into zones. Clearance is centre-to-centre.
+  bool in_zone = false;
+  ConflictZone cur{};
+  double b_lo = 0, b_hi = 0;
+  const double len = a.length();
+  for (double s = 0;; s += step) {
+    const bool last = s >= len;
+    const double sa = last ? len : s;
+    const auto [dist, sb] = b.project(a.point_at(sa));
+    const bool conflict = dist <= clearance;
+    if (conflict && !in_zone) {
+      in_zone = true;
+      cur.a_begin = sa;
+      b_lo = b_hi = sb;
+    }
+    if (conflict) {
+      cur.a_end = sa;
+      b_lo = std::min(b_lo, sb);
+      b_hi = std::max(b_hi, sb);
+    }
+    if (!conflict && in_zone) {
+      in_zone = false;
+      cur.b_begin = b_lo;
+      cur.b_end = b_hi;
+      zones.push_back(cur);
+      cur = ConflictZone{};
+    }
+    if (last) break;
+  }
+  if (in_zone) {
+    cur.b_begin = b_lo;
+    cur.b_end = b_hi;
+    zones.push_back(cur);
+  }
+  return zones;
+}
+
+}  // namespace nwade::geom

@@ -1,0 +1,78 @@
+// Arc-length parameterized paths through an intersection.
+//
+// A vehicle's route (approach lane -> turn curve -> exit lane) is one Path.
+// Plans and deviation checks all speak in "distance along my path", so the
+// path is the bridge between scheduling (1-D) and geometry (2-D).
+#pragma once
+
+#include <vector>
+
+#include "geom/vec2.h"
+
+namespace nwade::geom {
+
+/// Polyline with cached cumulative arc length. Immutable after construction.
+class Path {
+ public:
+  Path() = default;
+  /// Builds from waypoints; consecutive duplicates are dropped.
+  explicit Path(std::vector<Vec2> points);
+
+  bool empty() const { return points_.size() < 2; }
+  double length() const { return cumulative_.empty() ? 0.0 : cumulative_.back(); }
+  const std::vector<Vec2>& points() const { return points_; }
+
+  /// Position at arc length s; clamps s to [0, length].
+  Vec2 point_at(double s) const;
+
+  /// Unit tangent at arc length s (direction of travel).
+  Vec2 tangent_at(double s) const;
+
+  /// Heading in radians at arc length s.
+  double heading_at(double s) const { return heading(tangent_at(s)); }
+
+  /// Minimum distance from `p` to the path, and the arc length where it is
+  /// attained (first of the pair = distance, second = arc length).
+  std::pair<double, double> project(Vec2 p) const;
+
+  /// Concatenates another path onto the end of this one (joining the seam).
+  Path joined(const Path& next) const;
+
+  /// Evenly spaced samples every `step` metres (including both endpoints).
+  std::vector<Vec2> sample(double step) const;
+
+  /// The portion of the path between arc lengths s0 and s1 (clamped).
+  Path subpath(double s0, double s1) const;
+
+ private:
+  std::size_t segment_at(double s) const;
+
+  std::vector<Vec2> points_;
+  std::vector<double> cumulative_;  // cumulative_[i] = arc length at points_[i]
+};
+
+/// Builds a straight segment from a to b.
+Path make_line(Vec2 a, Vec2 b);
+
+/// Builds a circular arc around `center` from angle `a0` to `a1` (radians,
+/// CCW when a1 > a0) with `segments` straight pieces.
+Path make_arc(Vec2 center, double radius, double a0, double a1, int segments = 24);
+
+/// Cubic Bezier flattened into `segments` pieces; used for turn curves.
+Path make_bezier(Vec2 p0, Vec2 p1, Vec2 p2, Vec2 p3, int segments = 24);
+
+/// A contiguous region where two paths come within `clearance` metres.
+/// Scheduling treats each zone as a resource only one vehicle may occupy.
+struct ConflictZone {
+  double a_begin{0};  ///< arc-length window on path A
+  double a_end{0};
+  double b_begin{0};  ///< arc-length window on path B
+  double b_end{0};
+};
+
+/// Finds all conflict zones between two paths by sampling every `step`
+/// metres. Adjacent conflicting samples are merged into one zone.
+std::vector<ConflictZone> find_conflicts(const Path& a, const Path& b,
+                                         double clearance, double step = 1.0);
+
+}  // namespace nwade::geom

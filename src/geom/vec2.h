@@ -1,0 +1,53 @@
+// 2-D vector math for intersection geometry and vehicle kinematics.
+#pragma once
+
+#include <cmath>
+
+namespace nwade::geom {
+
+struct Vec2 {
+  double x{0};
+  double y{0};
+
+  constexpr Vec2 operator+(Vec2 o) const { return {x + o.x, y + o.y}; }
+  constexpr Vec2 operator-(Vec2 o) const { return {x - o.x, y - o.y}; }
+  constexpr Vec2 operator*(double k) const { return {x * k, y * k}; }
+  constexpr Vec2 operator/(double k) const { return {x / k, y / k}; }
+  constexpr bool operator==(const Vec2&) const = default;
+
+  constexpr double dot(Vec2 o) const { return x * o.x + y * o.y; }
+  /// 2-D cross product (z component); positive = o is counter-clockwise.
+  constexpr double cross(Vec2 o) const { return x * o.y - y * o.x; }
+
+  double norm() const { return std::sqrt(x * x + y * y); }
+  constexpr double norm_sq() const { return x * x + y * y; }
+
+  /// Unit vector; the zero vector normalizes to itself.
+  Vec2 normalized() const {
+    const double n = norm();
+    return n > 0 ? Vec2{x / n, y / n} : Vec2{};
+  }
+
+  /// Rotated 90 degrees counter-clockwise.
+  constexpr Vec2 perp() const { return {-y, x}; }
+
+  /// Rotated by `angle` radians counter-clockwise.
+  Vec2 rotated(double angle) const {
+    const double c = std::cos(angle), s = std::sin(angle);
+    return {x * c - y * s, x * s + y * c};
+  }
+
+  double distance_to(Vec2 o) const { return (*this - o).norm(); }
+
+  static Vec2 from_polar(double radius, double angle) {
+    return {radius * std::cos(angle), radius * std::sin(angle)};
+  }
+};
+
+/// Heading angle of a vector in radians, in (-pi, pi].
+inline double heading(Vec2 v) { return std::atan2(v.y, v.x); }
+
+/// Linear interpolation between two points.
+inline Vec2 lerp(Vec2 a, Vec2 b, double t) { return a + (b - a) * t; }
+
+}  // namespace nwade::geom

@@ -1,0 +1,77 @@
+// Deterministic discrete-event simulation kernel.
+//
+// The whole NWADE evaluation runs on simulated time: the physics loop steps
+// the world at a fixed cadence while network deliveries and timers fire as
+// discrete events in between. Single-threaded by design — determinism beats
+// parallelism for reproducing the paper's tables.
+#pragma once
+
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "util/types.h"
+
+namespace nwade::net {
+
+/// Monotonic simulated clock owned by the event loop.
+class SimClock {
+ public:
+  Tick now() const { return now_; }
+  void advance_to(Tick t) {
+    if (t > now_) now_ = t;
+  }
+
+ private:
+  Tick now_{0};
+};
+
+/// Time-ordered event queue. Events scheduled for the same tick fire in
+/// insertion order (stable), which keeps runs reproducible.
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Schedules `fn` at absolute time `when` (>= now).
+  void schedule_at(Tick when, Callback fn) {
+    events_.push(Event{when, seq_++, std::move(fn)});
+  }
+
+  bool empty() const { return events_.empty(); }
+  std::size_t size() const { return events_.size(); }
+
+  /// Time of the earliest pending event; kTickMax when empty.
+  Tick next_time() const { return events_.empty() ? kTickMax : events_.top().when; }
+
+  /// Runs all events with time <= `until`, advancing `clock` as it goes.
+  /// Events scheduled during execution are honored if they fall in range.
+  void run_until(Tick until, SimClock& clock) {
+    while (!events_.empty() && events_.top().when <= until) {
+      // std::priority_queue::top returns const&; the event must be copied out
+      // before pop. The callback is moved via const_cast — safe because the
+      // element is removed immediately after.
+      Event ev = std::move(const_cast<Event&>(events_.top()));
+      events_.pop();
+      clock.advance_to(ev.when);
+      ev.fn();
+    }
+    clock.advance_to(until);
+  }
+
+ private:
+  struct Event {
+    Tick when;
+    std::uint64_t seq;
+    Callback fn;
+
+    bool operator>(const Event& o) const {
+      if (when != o.when) return when > o.when;
+      return seq > o.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> events_;
+  std::uint64_t seq_{0};
+};
+
+}  // namespace nwade::net

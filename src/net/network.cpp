@@ -1,0 +1,66 @@
+#include "net/network.h"
+
+#include <cassert>
+
+namespace nwade::net {
+
+Network::Network(EventQueue& queue, SimClock& clock, NetworkConfig config)
+    : queue_(queue), clock_(clock), config_(config), rng_(config.seed) {}
+
+void Network::add_node(Node* node) {
+  assert(node != nullptr);
+  nodes_[node->node_id()] = node;
+}
+
+void Network::remove_node(NodeId id) { nodes_.erase(id); }
+
+bool Network::in_range(NodeId a, NodeId b) const {
+  const auto ita = nodes_.find(a);
+  const auto itb = nodes_.find(b);
+  if (ita == nodes_.end() || itb == nodes_.end()) return false;
+  return ita->second->position().distance_to(itb->second->position()) <=
+         config_.comm_radius_m;
+}
+
+void Network::deliver_later(Envelope env) {
+  stats_.packets_sent++;
+  stats_.bytes_sent += env.msg->wire_size();
+  stats_.packets_by_kind[env.msg->kind()]++;
+
+  if (config_.loss_probability > 0 && rng_.chance(config_.loss_probability)) {
+    stats_.packets_dropped++;
+    return;
+  }
+  const Tick arrival = clock_.now() + config_.latency_ms;
+  queue_.schedule_at(arrival, [this, env = std::move(env)]() {
+    // The receiver may have left the intersection (deregistered) in flight.
+    const auto it = nodes_.find(env.to);
+    if (it == nodes_.end()) return;
+    stats_.packets_delivered++;
+    it->second->on_message(env);
+  });
+}
+
+void Network::unicast(NodeId from, NodeId to, MessagePtr msg) {
+  assert(msg != nullptr);
+  if (!nodes_.contains(from) || !nodes_.contains(to)) return;
+  if (!in_range(from, to)) {
+    stats_.packets_out_of_range++;
+    return;
+  }
+  deliver_later(Envelope{from, to, /*broadcast=*/false, clock_.now(), std::move(msg)});
+}
+
+void Network::broadcast(NodeId from, MessagePtr msg) {
+  assert(msg != nullptr);
+  const auto sender = nodes_.find(from);
+  if (sender == nodes_.end()) return;
+  const geom::Vec2 origin = sender->second->position();
+  for (const auto& [id, node] : nodes_) {
+    if (id == from) continue;
+    if (node->position().distance_to(origin) > config_.comm_radius_m) continue;
+    deliver_later(Envelope{from, id, /*broadcast=*/true, clock_.now(), msg});
+  }
+}
+
+}  // namespace nwade::net

@@ -1,0 +1,104 @@
+// Simulated V2V/V2I network.
+//
+// Models the paper's communication assumptions directly: a fixed propagation
+// latency (default 30 ms), a maximum communication radius (default 1500 ft =
+// 457 m), optional random packet loss, and per-message-kind packet accounting
+// (the data behind Fig. 7's network-load experiment).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "geom/vec2.h"
+#include "net/clock.h"
+#include "util/rng.h"
+#include "util/types.h"
+
+namespace nwade::net {
+
+/// Base class for anything sent over the simulated network. Concrete message
+/// types live in the protocol layer; the network only needs a kind string for
+/// accounting and an approximate wire size.
+class Message {
+ public:
+  virtual ~Message() = default;
+  /// Stable message-kind label, e.g. "block_broadcast".
+  virtual std::string kind() const = 0;
+  /// Approximate serialized size in bytes (for load accounting).
+  virtual std::size_t wire_size() const = 0;
+};
+
+using MessagePtr = std::shared_ptr<const Message>;
+
+/// A delivered message with its routing metadata.
+struct Envelope {
+  NodeId from;
+  NodeId to;  ///< receiver; for broadcasts, the specific recipient
+  bool broadcast{false};
+  Tick sent_at{0};
+  MessagePtr msg;
+};
+
+/// A network endpoint (vehicle or intersection manager).
+class Node {
+ public:
+  virtual ~Node() = default;
+  virtual NodeId node_id() const = 0;
+  /// Current physical position; used for radius checks.
+  virtual geom::Vec2 position() const = 0;
+  virtual void on_message(const Envelope& env) = 0;
+};
+
+/// Network configuration (paper defaults).
+struct NetworkConfig {
+  Duration latency_ms{30};
+  double comm_radius_m{feet_to_meters(1500.0)};
+  double loss_probability{0.0};
+  std::uint64_t seed{1};
+};
+
+/// Cumulative traffic statistics; one packet = one (sender, receiver) copy.
+struct NetworkStats {
+  std::uint64_t packets_sent{0};      ///< receiver copies handed to the medium
+  std::uint64_t packets_delivered{0};
+  std::uint64_t packets_dropped{0};   ///< lost to random loss
+  std::uint64_t packets_out_of_range{0};
+  std::uint64_t bytes_sent{0};
+  std::unordered_map<std::string, std::uint64_t> packets_by_kind;
+};
+
+/// Simulated broadcast medium with latency, radius, and loss.
+class Network {
+ public:
+  Network(EventQueue& queue, SimClock& clock, NetworkConfig config);
+
+  void add_node(Node* node);
+  void remove_node(NodeId id);
+  bool has_node(NodeId id) const { return nodes_.contains(id); }
+
+  /// Sends to one receiver. Silently dropped if out of range or lost.
+  void unicast(NodeId from, NodeId to, MessagePtr msg);
+
+  /// Sends to every registered node within the communication radius of the
+  /// sender (excluding the sender itself).
+  void broadcast(NodeId from, MessagePtr msg);
+
+  const NetworkStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = NetworkStats{}; }
+
+  const NetworkConfig& config() const { return config_; }
+
+ private:
+  void deliver_later(Envelope env);
+  bool in_range(NodeId a, NodeId b) const;
+
+  EventQueue& queue_;
+  SimClock& clock_;
+  NetworkConfig config_;
+  Rng rng_;
+  std::unordered_map<NodeId, Node*> nodes_;
+  NetworkStats stats_;
+};
+
+}  // namespace nwade::net

@@ -1,0 +1,23 @@
+#include "nwade/analysis.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace nwade::protocol {
+
+double detection_probability(int k, double p_v, double omega) {
+  assert(k >= 0 && p_v >= 0.0 && p_v <= 1.0 && omega > 0.0);
+  return 1.0 / std::exp(omega * k * std::pow(p_v, k));
+}
+
+double self_evacuation_probability(int k, double p_v_loc, double p_im) {
+  assert(k >= 0 && p_v_loc >= 0.0 && p_v_loc <= 1.0 && p_im >= 0.0 && p_im <= 1.0);
+  return 1.0 - (1.0 - p_im) * (1.0 - std::pow(p_v_loc, k));
+}
+
+int majority_threshold(int neighbourhood_size) {
+  assert(neighbourhood_size >= 0);
+  return neighbourhood_size / 2 + 1;
+}
+
+}  // namespace nwade::protocol

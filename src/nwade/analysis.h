@@ -1,0 +1,24 @@
+// Closed-form probability models from the paper (Section IV-B).
+#pragma once
+
+namespace nwade::protocol {
+
+/// Eq. (2): probability that the IM identifies a majority-vote-gaming attack
+/// by k compromised vehicles, where p_v is the per-vehicle compromise
+/// probability and omega regularizes the exponent.
+///
+///   P_d = 1 / e^{omega * k * p_v^k}
+double detection_probability(int k, double p_v, double omega);
+
+/// Eq. (3): probability that a vehicle needs to self-evacuate, where p_im is
+/// the probability the IM is compromised and p_v*p_loc the probability a
+/// compromised vehicle sits near the relevant location. The paper's worked
+/// example: p_v*p_loc = 0.1, p_im = 0.001, k = 11 -> P_e ~ 0.1%.
+///
+///   P_e = 1 - (1 - p_im)(1 - (p_v p_loc)^k)
+double self_evacuation_probability(int k, double p_v_loc, double p_im);
+
+/// The paper's majority threshold for a neighbourhood of n vehicles: n/2 + 1.
+int majority_threshold(int neighbourhood_size);
+
+}  // namespace nwade::protocol

@@ -1,0 +1,26 @@
+#include "nwade/config.h"
+
+namespace nwade::protocol {
+
+std::vector<AttackSetting> table1_attack_settings() {
+  // Table I: V-settings have a benign IM; IM-settings are collusions.
+  // Each setting has exactly one physical plan violation (except pure IM)
+  // and (k-1) false-reporting vehicles.
+  return {
+      {"V1", 1, false, 1, 0},      {"V2", 2, false, 1, 1},
+      {"V3", 3, false, 1, 2},      {"V5", 5, false, 1, 4},
+      {"V10", 10, false, 1, 9},    {"IM", 0, true, 0, 0},
+      {"IM_V1", 1, true, 1, 0},    {"IM_V2", 2, true, 1, 1},
+      {"IM_V3", 3, true, 1, 2},    {"IM_V5", 5, true, 1, 4},
+      {"IM_V10", 10, true, 1, 9},
+  };
+}
+
+AttackSetting attack_setting_by_name(const std::string& name) {
+  for (const AttackSetting& s : table1_attack_settings()) {
+    if (s.name == name) return s;
+  }
+  return AttackSetting{"benign", 0, false, 0, 0};
+}
+
+}  // namespace nwade::protocol

@@ -1,0 +1,68 @@
+// NWADE configuration: protocol parameters (paper Section VI-A defaults) and
+// the attack settings of Table I.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/types.h"
+
+namespace nwade::protocol {
+
+/// Protocol parameters. Defaults follow the paper's experimental settings.
+struct NwadeConfig {
+  /// Processing window delta: the IM batches plan requests at this cadence.
+  Duration processing_window_ms{1000};
+  /// Vehicle sensing radius (paper default 1000 ft).
+  double sensing_radius_m{feet_to_meters(1000.0)};
+  /// IM perception radius for direct report verification (paper: same LiDAR
+  /// class as vehicles, default 1000 ft).
+  double im_perception_radius_m{feet_to_meters(1000.0)};
+  /// Positional deviation (metres) beyond which a watcher reports a vehicle.
+  double deviation_tolerance_m{6.0};
+  /// How long a reporter waits for the IM before assuming it is compromised.
+  Duration im_response_timeout_ms{2500};
+  /// How long the IM collects VerifyResponses before tallying the vote.
+  Duration verification_round_ms{500};
+  /// Second-group re-verification (Section IV-B2): after a first majority
+  /// says "abnormal", ask a disjoint group to double-check. Defeats
+  /// majority-vote gaming by colluding vehicles; the ablation benches turn
+  /// it off to show why it exists.
+  bool double_check_verification{true};
+  /// Number of distinct global reports (kAbnormalVehicle) that push a distant
+  /// vehicle into self-evacuation (paper Section IV-B4's safety threshold).
+  int global_report_threshold{3};
+  /// Vehicle-side chain cache depth (tau/delta bound).
+  std::size_t chain_depth{64};
+  /// Margin used when vehicles check plans in blocks for conflicts. Must not
+  /// exceed the scheduler margin or honest plans would look conflicting.
+  Duration plan_check_margin_ms{500};
+  /// Threat radius used for evacuation planning.
+  double threat_radius_m{25.0};
+  /// How often vehicles run the neighbourhood-watch scan.
+  Duration watch_interval_ms{200};
+  /// false = the NWADE layer is off (plain AIM): vehicles adopt plans
+  /// without verification and do not watch. Used for overhead comparisons.
+  bool security_enabled{true};
+};
+
+/// One row of Table I. `plan_violations` malicious vehicles physically break
+/// their plans; `false_reports` malicious vehicles inject fabricated
+/// incident/global reports; a malicious IM issues conflicting plans and
+/// stonewalls incident reports about colluding vehicles.
+struct AttackSetting {
+  std::string name;
+  int malicious_vehicles{0};
+  bool im_malicious{false};
+  int plan_violations{0};
+  int false_reports{0};
+};
+
+/// The eleven settings of Table I.
+std::vector<AttackSetting> table1_attack_settings();
+
+/// Looks up a Table I setting by name ("V1", "IM_V5", ...). Returns the
+/// benign setting for unknown names.
+AttackSetting attack_setting_by_name(const std::string& name);
+
+}  // namespace nwade::protocol

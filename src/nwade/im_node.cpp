@@ -1,0 +1,603 @@
+#include "nwade/im_node.h"
+
+#include <algorithm>
+#include <cassert>
+#include <chrono>
+#include <cstdlib>
+
+#include "util/log.h"
+
+namespace nwade::protocol {
+
+namespace {
+
+double elapsed_us(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::micro>(std::chrono::steady_clock::now() -
+                                                   t0)
+      .count();
+}
+
+constexpr int kVerifierGroupSize = 6;
+
+}  // namespace
+
+const char* im_state_name(ImState s) {
+  switch (s) {
+    case ImState::kStandby: return "standby";
+    case ImState::kScheduling: return "scheduling";
+    case ImState::kBlockPackaging: return "block_packaging";
+    case ImState::kDissemination: return "dissemination";
+    case ImState::kReportVerification: return "report_verification";
+    case ImState::kEvacuation: return "evacuation";
+    case ImState::kRecovery: return "recovery";
+  }
+  return "?";
+}
+
+ImNode::ImNode(ImContext ctx, aim::SchedulerConfig scheduler_config,
+               ImAttackProfile attack)
+    : ctx_(ctx), scheduler_(*ctx.intersection, scheduler_config), attack_(attack) {
+  assert(ctx_.intersection && ctx_.config && ctx_.network && ctx_.clock &&
+         ctx_.queue && ctx_.sensors && ctx_.signer && ctx_.metrics &&
+         ctx_.malicious_ids);
+}
+
+void ImNode::start() {
+  const Duration delta = ctx_.config->processing_window_ms;
+  ctx_.queue->schedule_at(ctx_.clock->now() + delta, [this] {
+    process_window();
+    start();  // re-arm the next window
+  });
+}
+
+bool ImNode::silenced(Tick now) const {
+  return (attack_.mode == ImAttackMode::kSilence ||
+          attack_.mode == ImAttackMode::kConflictingPlansAndSilence) &&
+         now >= attack_.trigger_at;
+}
+
+// --- window processing -----------------------------------------------------------
+
+void ImNode::process_window() {
+  const Tick now = ctx_.clock->now();
+  if (state_ == ImState::kEvacuation) {
+    check_evacuation_progress();
+    return;
+  }
+  if (state_ == ImState::kReportVerification) return;  // wait for the tally
+
+  prune_exited_plans(now);
+  scheduler_.release_before(now - 60'000);
+
+  std::vector<aim::TravelPlan> virtual_plans = track_unmanaged(now);
+  if (pending_requests_.empty() && virtual_plans.empty()) return;
+
+  const auto t0 = std::chrono::steady_clock::now();
+  set_state(ImState::kScheduling);
+  std::vector<aim::TravelPlan> plans = std::move(virtual_plans);
+  plans.reserve(plans.size() + pending_requests_.size());
+  for (const PlanRequest& req : pending_requests_) {
+    ever_planned_.insert(req.vehicle);
+    plans.push_back(scheduler_.schedule(req.vehicle, req.route_id, req.traits, now,
+                                        req.status.speed_mps));
+  }
+  pending_requests_.clear();
+
+  // Compromised IM: warp one plan onto a colliding trajectory.
+  const bool attack_window =
+      (attack_.mode == ImAttackMode::kConflictingPlans ||
+       attack_.mode == ImAttackMode::kConflictingPlansAndSilence) &&
+      now >= attack_.trigger_at && !conflict_injected_;
+  if (attack_window && try_inject_conflict(plans, now)) {
+    conflict_injected_ = true;
+    if (!ctx_.metrics->im_conflict_injected) ctx_.metrics->im_conflict_injected = now;
+  }
+
+  set_state(ImState::kBlockPackaging);
+  for (const aim::TravelPlan& p : plans) active_plans_[p.vehicle] = p;
+  publish_block(std::move(plans), /*count_timing=*/false);
+  ctx_.metrics->im_package_us.push_back(elapsed_us(t0));
+  set_state(ImState::kStandby);
+}
+
+void ImNode::publish_block(std::vector<aim::TravelPlan> plans, bool count_timing) {
+  const Tick now = ctx_.clock->now();
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<VehicleId> revoked(confirmed_suspects_.begin(),
+                                 confirmed_suspects_.end());
+  chain::Block block = chain::Block::package(seq_, prev_hash_, now, std::move(plans),
+                                             *ctx_.signer, std::move(revoked));
+  if (count_timing) ctx_.metrics->im_package_us.push_back(elapsed_us(t0));
+  prev_hash_ = block.hash();
+  ++seq_;
+  ctx_.metrics->blocks_published++;
+
+  recent_blocks_.push_back(block);
+  while (recent_blocks_.size() > 128) recent_blocks_.pop_front();
+
+  set_state(ImState::kDissemination);
+  auto msg = std::make_shared<BlockBroadcast>();
+  msg->block = std::make_shared<chain::Block>(std::move(block));
+  ctx_.network->broadcast(node_id(), std::move(msg));
+}
+
+std::vector<aim::TravelPlan> ImNode::track_unmanaged(Tick now) {
+  std::vector<aim::TravelPlan> fresh;
+  const auto seen = ctx_.sensors->sense_around(
+      {0, 0}, ctx_.config->im_perception_radius_m, VehicleId{});
+  for (const Observation& obs : seen) {
+    // Managed vehicles (even ones whose plan went stale) are never
+    // reclassified as legacy: the IM has their identity on file.
+    if (ever_planned_.contains(obs.id)) continue;
+    if (confirmed_suspects_.contains(obs.id)) continue;
+    if (obs.status.speed_mps < 2.0 && !unmanaged_ids_.contains(obs.id)) {
+      continue;  // staged / parked; managed vehicles wait at the zone edge
+    }
+    // Match the observation to a route: nearest path with compatible heading.
+    int best_route = -1;
+    double best_s = 0, best_score = 6.0;  // max 6 m lateral to match
+    for (const traffic::Route& r : ctx_.intersection->routes()) {
+      const auto [dist, s_proj] = r.path.project(obs.status.position);
+      if (dist > best_score) continue;
+      const double heading_diff = std::abs(std::remainder(
+          r.path.heading_at(s_proj) - obs.status.heading_rad, 2 * 3.14159265));
+      if (heading_diff > 0.5) continue;
+      best_score = dist;
+      best_route = r.id;
+      best_s = s_proj;
+    }
+    if (best_route < 0) continue;
+
+    aim::TravelPlan plan;
+    plan.vehicle = obs.id;
+    plan.route_id = best_route;
+    plan.traits = obs.traits;
+    plan.status_at_issue = obs.status;
+    plan.issued_at = now;
+    plan.unmanaged = true;
+    // Predict with the observed speed. Underestimating occupancy (assuming a
+    // queued vehicle will speed back up) schedules managed traffic into the
+    // legacy vehicle's actual late crossing; overestimating merely wastes
+    // capacity. The floor only guards the division for a parked vehicle.
+    const double v = std::max(obs.status.speed_mps, 1.0);
+    plan.segments = {aim::PlanSegment{now, best_s, v}};
+    const auto& route = ctx_.intersection->route(best_route);
+    plan.core_entry =
+        best_s < route.core_begin
+            ? now + seconds_to_ticks((route.core_begin - best_s) / v)
+            : now;
+    plan.core_exit = now + seconds_to_ticks(
+                               std::max(0.0, route.core_end - best_s) / v);
+    scheduler_.reserve_virtual(plan);
+    active_plans_[obs.id] = plan;
+    unmanaged_ids_.insert(obs.id);
+
+    // A legacy vehicle's predicted trajectory shifts whenever it brakes or
+    // accelerates (it never negotiates); on every refresh, any managed plan
+    // that now collides with the prediction is rescheduled around it.
+    {
+      std::vector<VehicleId> to_replan;
+      for (const auto& [vid, mp] : active_plans_) {
+        if (vid == obs.id || mp.unmanaged || mp.evacuation) continue;
+        const std::vector<const aim::TravelPlan*> pair = {&plan, &mp};
+        if (!aim::find_plan_conflicts(*ctx_.intersection, pair, 250).empty()) {
+          to_replan.push_back(vid);
+        }
+      }
+      for (VehicleId vid : to_replan) {
+        const aim::TravelPlan& old_plan = active_plans_.at(vid);
+        const double cur_s = old_plan.s_at(now);
+        aim::TravelPlan replacement = scheduler_.reschedule(
+            vid, old_plan.route_id, old_plan.traits, now, cur_s);
+        active_plans_[vid] = replacement;
+        fresh.push_back(std::move(replacement));
+      }
+    }
+    fresh.push_back(std::move(plan));
+  }
+  // Forget unmanaged vehicles that left perception.
+  for (auto it = unmanaged_ids_.begin(); it != unmanaged_ids_.end();) {
+    if (!ctx_.sensors->observe(*it)) {
+      active_plans_.erase(*it);
+      it = unmanaged_ids_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return fresh;
+}
+
+void ImNode::prune_exited_plans(Tick now) {
+  for (auto it = active_plans_.begin(); it != active_plans_.end();) {
+    const auto& route = ctx_.intersection->route(it->second.route_id);
+    if (it->second.s_at(now) >= route.path.length()) {
+      it = active_plans_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+bool ImNode::try_inject_conflict(std::vector<aim::TravelPlan>& plans, Tick now) {
+  // Find a fresh plan whose route conflicts with an already-active plan, then
+  // warp its core entry onto the victim's so they meet inside a shared zone.
+  for (aim::TravelPlan& candidate : plans) {
+    for (const traffic::ZoneRef& ref :
+         ctx_.intersection->zones_for(candidate.route_id)) {
+      const traffic::Zone& zone =
+          ctx_.intersection->zones()[static_cast<std::size_t>(ref.zone_id)];
+      const int other_route =
+          zone.route_a == candidate.route_id ? zone.route_b : zone.route_a;
+      for (const auto& [vid, victim] : active_plans_) {
+        if (victim.route_id != other_route) continue;
+        if (victim.core_entry <= now + 2000) continue;  // need time to collide
+        // The forged plan must be kinematically plausible (reachable within
+        // the speed limit), or the victim could not follow it and watchers
+        // would flag the discrepancy instead of the scheduling conflict.
+        const double d =
+            ctx_.intersection->route(candidate.route_id).core_begin;
+        const double limit = ctx_.intersection->config().limits.speed_limit_mps;
+        if (victim.core_entry <
+            now + seconds_to_ticks(d / limit)) {
+          continue;
+        }
+        candidate = aim::make_profile_plan(*ctx_.intersection, candidate.vehicle,
+                                           candidate.route_id, candidate.traits, now,
+                                           0.0, victim.core_entry, 4.0);
+        NWADE_LOG(kInfo) << "malicious IM: plan for vehicle "
+                         << candidate.vehicle.value << " warped onto vehicle "
+                         << vid.value;
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+// --- message dispatch --------------------------------------------------------------
+
+void ImNode::on_message(const net::Envelope& env) {
+  const Tick now = ctx_.clock->now();
+  if (const auto* pr = dynamic_cast<const PlanRequest*>(env.msg.get())) {
+    handle_plan_request(*pr);
+  } else if (const auto* ir = dynamic_cast<const IncidentReport*>(env.msg.get())) {
+    handle_incident_report(*ir, now);
+  } else if (const auto* vr = dynamic_cast<const VerifyResponse*>(env.msg.get())) {
+    handle_verify_response(*vr);
+  } else if (const auto* br = dynamic_cast<const BlockRequest*>(env.msg.get())) {
+    handle_block_request(*br, env.from);
+  }
+  // Global reports reach the IM too; a benign IM needs no action beyond what
+  // report verification already covers, and a malicious one ignores them.
+}
+
+void ImNode::handle_plan_request(const PlanRequest& req) {
+  // Duplicate request: the vehicle lost our block. Re-send the block that
+  // carries its plan instead of double-scheduling it.
+  if (active_plans_.contains(req.vehicle)) {
+    for (auto it = recent_blocks_.rbegin(); it != recent_blocks_.rend(); ++it) {
+      if (it->plan_for(req.vehicle) != nullptr) {
+        auto resp = std::make_shared<BlockResponse>();
+        resp->plan_of = req.vehicle;
+        resp->block = std::make_shared<chain::Block>(*it);
+        ctx_.network->unicast(node_id(), vehicle_node(req.vehicle), std::move(resp));
+        return;
+      }
+    }
+    return;
+  }
+  for (const PlanRequest& pending : pending_requests_) {
+    if (pending.vehicle == req.vehicle) return;  // already queued this window
+  }
+  pending_requests_.push_back(req);
+}
+
+void ImNode::handle_block_request(const BlockRequest& req, NodeId from) {
+  const chain::Block* found = nullptr;
+  for (auto it = recent_blocks_.rbegin(); it != recent_blocks_.rend(); ++it) {
+    if (req.by_seq ? (it->seq == req.seq) : (it->plan_for(req.plan_of) != nullptr)) {
+      found = &*it;
+      break;
+    }
+  }
+  if (found == nullptr) return;
+  auto resp = std::make_shared<BlockResponse>();
+  resp->plan_of = req.plan_of;
+  resp->block = std::make_shared<chain::Block>(*found);
+  ctx_.network->unicast(node_id(), from, std::move(resp));
+}
+
+// --- report verification (Section IV-B2) ----------------------------------------------
+
+void ImNode::handle_incident_report(const IncidentReport& report, Tick now) {
+  if (std::getenv("NWADE_DEBUG_IM")) {
+    const auto obs = ctx_.sensors->observe(report.evidence.suspect);
+    std::fprintf(stderr,
+                 "IM-RPT t=%lld reporter=%llu suspect=%llu dev=%.1f obs=%d norm=%.0f plan=%d state=%s\n",
+                 (long long)now, (unsigned long long)report.reporter.value,
+                 (unsigned long long)report.evidence.suspect.value,
+                 report.evidence.deviation_m, obs.has_value(),
+                 obs ? obs->status.position.norm() : -1.0,
+                 (int)active_plans_.count(report.evidence.suspect),
+                 im_state_name(state_));
+  }
+  if (silenced(now)) return;  // compromised IM stonewalls
+
+  const VehicleId suspect = report.evidence.suspect;
+  if (!suspect.valid() || suspect == report.reporter) return;
+  if (confirmed_suspects_.contains(suspect)) return;
+
+  if (report.misbehavior_claim) {
+    // A vehicle denounces `suspect` for a false global report about block
+    // `block_seq`. A benign IM knows its own chain is clean, so the claim
+    // checks out by construction: record the liar for future reference.
+    reporter_strikes_[suspect]++;
+    ctx_.metrics->malicious_reports_recorded++;
+    return;
+  }
+
+  // Sham-alert collusion: a compromised IM "confirms" the colluders' false
+  // report immediately, without verification.
+  if (attack_.mode == ImAttackMode::kShamAlert && now >= attack_.trigger_at &&
+      ctx_.malicious_ids->contains(report.reporter) && !sham_alert_sent_) {
+    sham_alert_sent_ = true;
+    confirm_threat(suspect, now);
+    return;
+  }
+
+  // Already verifying this suspect? Register the extra reporter.
+  if (const auto it = round_by_suspect_.find(suspect); it != round_by_suspect_.end()) {
+    rounds_[it->second].reporters.insert(report.reporter);
+    return;
+  }
+
+  // Direct perception path.
+  const auto obs = ctx_.sensors->observe(suspect);
+  if (obs &&
+      obs->status.position.norm() <= ctx_.config->im_perception_radius_m) {
+    const auto plan_it = active_plans_.find(suspect);
+    if (plan_it != active_plans_.end()) {
+      const auto& route = ctx_.intersection->route(plan_it->second.route_id);
+      const double dev =
+          (obs->status.position - plan_it->second.expected_status(route, now).position)
+              .norm();
+      // Hysteresis: an independent report corroborated by the IM's own
+      // sensors near the threshold is enough to confirm; this avoids losing
+      // borderline reports to the 30 ms the evidence aged in flight.
+      if (dev > 0.8 * ctx_.config->deviation_tolerance_m) {
+        confirm_threat(suspect, now);
+      } else {
+        dismiss_alarm(suspect, {report.reporter}, now);
+      }
+      return;
+    }
+  }
+
+  // Distributed verification path.
+  start_verification(suspect, report.reporter, now);
+}
+
+void ImNode::start_verification(VehicleId suspect, VehicleId reporter, Tick now) {
+  VerificationRound round;
+  round.id = next_round_id_++;
+  round.suspect = suspect;
+  round.reporters.insert(reporter);
+  round.asked_ever.insert(reporter);  // the reporter already voted, in effect
+  const std::uint64_t id = round.id;
+  rounds_[id] = std::move(round);
+  round_by_suspect_[suspect] = id;
+  ctx_.metrics->verify_rounds++;
+  set_state(ImState::kReportVerification);
+
+  if (ask_group(rounds_[id], now) == 0) {
+    // Nobody around to ask: fall back to trusting the single report.
+    confirm_threat(suspect, now);
+    rounds_.erase(id);
+    round_by_suspect_.erase(suspect);
+    return;
+  }
+  ctx_.queue->schedule_at(now + ctx_.config->verification_round_ms,
+                          [this, id] { tally_round(id); });
+}
+
+int ImNode::ask_group(VerificationRound& round, Tick now) {
+  (void)now;
+  // Verifiers = vehicles near the suspect (by last known/expected position).
+  geom::Vec2 center{0, 0};
+  if (const auto obs = ctx_.sensors->observe(round.suspect)) {
+    center = obs->status.position;
+  } else if (const auto it = active_plans_.find(round.suspect);
+             it != active_plans_.end()) {
+    const auto& route = ctx_.intersection->route(it->second.route_id);
+    center = route.path.point_at(it->second.s_at(ctx_.clock->now()));
+  }
+  auto candidates =
+      ctx_.sensors->sense_around(center, ctx_.config->sensing_radius_m, round.suspect);
+  std::sort(candidates.begin(), candidates.end(),
+            [&](const Observation& a, const Observation& b) {
+              return a.status.position.distance_to(center) <
+                     b.status.position.distance_to(center);
+            });
+  int asked = 0;
+  for (const Observation& obs : candidates) {
+    if (asked >= kVerifierGroupSize) break;
+    if (round.asked_ever.contains(obs.id)) continue;  // disjoint second group
+    round.asked_ever.insert(obs.id);
+    auto req = std::make_shared<VerifyRequest>();
+    req->request_id = round.id;
+    req->suspect = round.suspect;
+    ctx_.network->unicast(node_id(), vehicle_node(obs.id), std::move(req));
+    ++asked;
+  }
+  return asked;
+}
+
+void ImNode::handle_verify_response(const VerifyResponse& resp) {
+  if (silenced(ctx_.clock->now())) return;
+  const auto it = rounds_.find(resp.request_id);
+  if (it == rounds_.end()) return;
+  it->second.votes[resp.responder] = resp.abnormal;
+}
+
+void ImNode::tally_round(std::uint64_t round_id) {
+  const auto it = rounds_.find(round_id);
+  if (it == rounds_.end()) return;
+  VerificationRound& round = it->second;
+  const Tick now = ctx_.clock->now();
+
+  int abnormal = 0, normal = 0;
+  for (const auto& [voter, vote] : round.votes) (vote ? abnormal : normal)++;
+  const bool majority_abnormal = abnormal > normal;
+
+  if (round.phase == 1) {
+    if (!majority_abnormal) {
+      dismiss_alarm(round.suspect, round.reporters, now);
+      round_by_suspect_.erase(round.suspect);
+      rounds_.erase(it);
+      if (state_ == ImState::kReportVerification) set_state(ImState::kStandby);
+      return;
+    }
+    // Majority says abnormal: evacuate now for safety, but double-check with
+    // a second, disjoint group to defeat majority-vote gaming (Section IV-B2).
+    confirm_threat(round.suspect, now);
+    if (!ctx_.config->double_check_verification) {
+      round_by_suspect_.erase(round.suspect);
+      rounds_.erase(it);
+      return;
+    }
+    round.phase = 2;
+    round.votes.clear();
+    if (ask_group(round, now) == 0) {
+      // No second group available; the evacuation stands.
+      round_by_suspect_.erase(round.suspect);
+      rounds_.erase(it);
+      return;
+    }
+    ctx_.metrics->verify_rounds++;
+    const std::uint64_t id = round.id;
+    ctx_.queue->schedule_at(now + ctx_.config->verification_round_ms,
+                            [this, id] { tally_round(id); });
+    return;
+  }
+
+  // Phase 2.
+  if (!majority_abnormal) {
+    // The second group contradicts the first: the alarm was false after all.
+    // Cancel the evacuation and recover.
+    NWADE_LOG(kInfo) << "IM: second verifier group cleared vehicle "
+                     << round.suspect.value << "; cancelling evacuation";
+    confirmed_suspects_.erase(round.suspect);
+    evacuation_suspect_ = VehicleId{};
+    dismiss_alarm(round.suspect, round.reporters, now);
+    finish_evacuation(now);
+  }
+  round_by_suspect_.erase(round.suspect);
+  rounds_.erase(it);
+}
+
+void ImNode::dismiss_alarm(VehicleId suspect, const std::set<VehicleId>& reporters,
+                           Tick now) {
+  ctx_.metrics->alarm_dismissals++;
+  bool any_malicious = false;
+  for (VehicleId reporter : reporters) {
+    // "record V_x's identity for future reference in case V_x is malicious".
+    reporter_strikes_[reporter]++;
+    ctx_.metrics->malicious_reports_recorded++;
+    if (ctx_.malicious_ids->contains(reporter)) any_malicious = true;
+  }
+  if (any_malicious && !ctx_.metrics->false_incident_dismissed) {
+    ctx_.metrics->false_incident_dismissed = now;
+  }
+  // Broadcast so every vehicle can discount global reports about the suspect.
+  auto msg = std::make_shared<AlarmDismiss>();
+  msg->suspect = suspect;
+  if (!reporters.empty()) msg->reporter = *reporters.begin();
+  ctx_.network->broadcast(node_id(), std::move(msg));
+  if (state_ == ImState::kReportVerification) set_state(ImState::kStandby);
+}
+
+// --- evacuation / recovery (Section IV-B5) ------------------------------------------------
+
+std::vector<aim::ActiveVehicle> ImNode::active_vehicles(Tick now,
+                                                        VehicleId exclude) const {
+  std::vector<aim::ActiveVehicle> out;
+  for (const auto& [vid, plan] : active_plans_) {
+    if (vid == exclude) continue;
+    // Legacy vehicles cannot receive or follow plans; evacuation and
+    // recovery only replan the managed fleet (virtual predictions resume at
+    // the next processing window).
+    if (plan.unmanaged) continue;
+    const auto& route = ctx_.intersection->route(plan.route_id);
+    const double s = plan.s_at(now);
+    if (s >= route.path.length()) continue;
+    out.push_back(aim::ActiveVehicle{vid, plan.route_id, plan.traits, s,
+                                     plan.v_at(now)});
+  }
+  return out;
+}
+
+void ImNode::confirm_threat(VehicleId suspect, Tick now) {
+  if (confirmed_suspects_.contains(suspect)) return;
+  confirmed_suspects_.insert(suspect);
+  evacuation_suspect_ = suspect;
+  suspect_stopped_checks_ = 0;
+  set_state(ImState::kEvacuation);
+  ctx_.metrics->evacuation_alerts++;
+  if (ctx_.malicious_ids->contains(suspect)) {
+    if (!ctx_.metrics->deviation_confirmed) ctx_.metrics->deviation_confirmed = now;
+  } else {
+    // Evacuating because of an innocent vehicle: the attacker's false alarm
+    // succeeded in disrupting traffic.
+    ctx_.metrics->false_alarm_evacuations++;
+  }
+
+  // Alert first (identifiable features + location), plans right after.
+  auto alert = std::make_shared<EvacuationAlert>();
+  alert->suspect = suspect;
+  if (const auto obs = ctx_.sensors->observe(suspect)) {
+    alert->suspect_traits = obs->traits;
+    alert->last_known = obs->status;
+  } else if (const auto it = active_plans_.find(suspect); it != active_plans_.end()) {
+    alert->suspect_traits = it->second.traits;
+    const auto& route = ctx_.intersection->route(it->second.route_id);
+    alert->last_known = it->second.expected_status(route, now);
+  }
+  const geom::Vec2 threat_pos = alert->last_known.position;
+  ctx_.network->broadcast(node_id(), std::move(alert));
+
+  aim::ThreatInfo threat;
+  threat.position = threat_pos;
+  threat.radius_m = ctx_.config->threat_radius_m;
+  threat.suspect = suspect;
+  auto plans = scheduler_.plan_evacuation(active_vehicles(now, suspect), threat, now);
+  for (const aim::TravelPlan& p : plans) active_plans_[p.vehicle] = p;
+  publish_block(std::move(plans), /*count_timing=*/true);
+  set_state(ImState::kEvacuation);
+}
+
+void ImNode::check_evacuation_progress() {
+  const Tick now = ctx_.clock->now();
+  const auto obs = ctx_.sensors->observe(evacuation_suspect_);
+  const bool gone = !obs || obs->status.position.norm() >
+                                ctx_.config->im_perception_radius_m;
+  const bool stopped = obs && obs->status.speed_mps < 0.5;
+  if (stopped) {
+    suspect_stopped_checks_++;
+  } else if (!gone) {
+    suspect_stopped_checks_ = 0;
+  }
+  if (gone || suspect_stopped_checks_ >= 3) {
+    finish_evacuation(now);
+  }
+}
+
+void ImNode::finish_evacuation(Tick now) {
+  set_state(ImState::kRecovery);
+  auto plans = scheduler_.plan_recovery(active_vehicles(now, evacuation_suspect_), now);
+  for (const aim::TravelPlan& p : plans) active_plans_[p.vehicle] = p;
+  publish_block(std::move(plans), /*count_timing=*/true);
+  evacuation_suspect_ = VehicleId{};
+  set_state(ImState::kStandby);
+}
+
+}  // namespace nwade::protocol

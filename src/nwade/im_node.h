@@ -1,0 +1,171 @@
+// The NWADE intersection manager: the paper's 7-state automaton (Fig. 2).
+//
+//   Standby -> Scheduling -> BlockPackaging -> Dissemination -> Standby
+//      \-> ReportVerification -> (dismiss | Evacuation -> Recovery) -> Standby
+//
+// Every processing window (delta) it batches plan requests, runs the
+// DASH-like reservation scheduler, packages the plans into a signed block
+// (Section IV-B1), and broadcasts it. Incident reports trigger report
+// verification (Section IV-B2): direct perception when the suspect is in
+// range, otherwise two rounds of majority voting over disjoint verifier
+// groups. Confirmed threats trigger evacuation and post-evacuation recovery
+// (Section IV-B5).
+//
+// The node can also play the compromised IM of threat models (iii)/(iv):
+// issuing conflicting travel plans and stonewalling incident reports.
+#pragma once
+
+#include <deque>
+#include <map>
+#include <set>
+
+#include "aim/scheduler.h"
+#include "chain/block.h"
+#include "net/clock.h"
+#include "net/network.h"
+#include "nwade/config.h"
+#include "nwade/messages.h"
+#include "nwade/metrics.h"
+#include "nwade/sensor.h"
+
+namespace nwade::protocol {
+
+/// Fig. 2, intersection-manager side: the 7 automaton states.
+enum class ImState : std::uint8_t {
+  kStandby = 0,
+  kScheduling,
+  kBlockPackaging,
+  kDissemination,
+  kReportVerification,
+  kEvacuation,
+  kRecovery,
+};
+
+const char* im_state_name(ImState s);
+
+enum class ImAttackMode : std::uint8_t {
+  kNone = 0,
+  /// Issue a pair of conflicting travel plans (threat model iii).
+  kConflictingPlans,
+  /// Conflicting plans + ignore incident reports (collusion, model iv).
+  kConflictingPlansAndSilence,
+  /// Ignore incident reports only (quiet collusion with vehicle attackers).
+  kSilence,
+  /// Issue a sham evacuation alert against a benign vehicle.
+  kShamAlert,
+};
+
+struct ImAttackProfile {
+  ImAttackMode mode{ImAttackMode::kNone};
+  Tick trigger_at{0};
+};
+
+struct ImContext {
+  const traffic::Intersection* intersection{nullptr};
+  const NwadeConfig* config{nullptr};
+  net::Network* network{nullptr};
+  net::SimClock* clock{nullptr};
+  net::EventQueue* queue{nullptr};
+  const SensorProvider* sensors{nullptr};
+  const crypto::Signer* signer{nullptr};
+  Metrics* metrics{nullptr};
+  /// Collusion roster for malicious modes; also used for metric labelling.
+  const std::set<VehicleId>* malicious_ids{nullptr};
+};
+
+class ImNode final : public net::Node {
+ public:
+  ImNode(ImContext ctx, aim::SchedulerConfig scheduler_config = {},
+         ImAttackProfile attack = {});
+
+  // --- net::Node ----------------------------------------------------------
+  NodeId node_id() const override { return kImNodeId; }
+  geom::Vec2 position() const override { return {0, 0}; }
+  void on_message(const net::Envelope& env) override;
+
+  /// Schedules the periodic processing-window events; call once at t=0.
+  void start();
+
+  // --- introspection --------------------------------------------------------
+  ImState state() const { return state_; }
+  std::size_t active_plan_count() const { return active_plans_.size(); }
+  chain::BlockSeq next_seq() const { return seq_; }
+  bool is_malicious() const { return attack_.mode != ImAttackMode::kNone; }
+  const aim::ReservationScheduler& scheduler() const { return scheduler_; }
+
+ private:
+  struct VerificationRound {
+    std::uint64_t id{0};
+    VehicleId suspect;
+    std::set<VehicleId> reporters;
+    int phase{1};
+    std::set<VehicleId> asked_ever;   ///< across both phases
+    std::map<VehicleId, bool> votes;  ///< responder -> abnormal?
+  };
+
+  void process_window();
+  void publish_block(std::vector<aim::TravelPlan> plans, bool count_timing);
+  void prune_exited_plans(Tick now);
+  /// Mixed-traffic extension: detect legacy (non-communicating) vehicles in
+  /// perception range, synthesize virtual constant-speed plans for them, and
+  /// reserve their conflict zones so managed traffic is scheduled around
+  /// them. Returns the fresh virtual plans for inclusion in the next block.
+  std::vector<aim::TravelPlan> track_unmanaged(Tick now);
+
+  void handle_plan_request(const PlanRequest& req);
+  void handle_incident_report(const IncidentReport& report, Tick now);
+  void handle_verify_response(const VerifyResponse& resp);
+  void handle_block_request(const BlockRequest& req, NodeId from);
+
+  /// Starts (or joins) a verification round for a suspect. Returns false when
+  /// the report was resolved immediately via direct perception.
+  void start_verification(VehicleId suspect, VehicleId reporter, Tick now);
+  /// Sends VerifyRequests to up to `group_size` vehicles near the suspect
+  /// that have not been asked yet. Returns how many were asked.
+  int ask_group(VerificationRound& round, Tick now);
+  void tally_round(std::uint64_t round_id);
+
+  void dismiss_alarm(VehicleId suspect, const std::set<VehicleId>& reporters,
+                     Tick now);
+  void confirm_threat(VehicleId suspect, Tick now);
+  void check_evacuation_progress();
+  void finish_evacuation(Tick now);
+
+  /// Snapshot of active vehicles (plan-following assumption) for replanning.
+  std::vector<aim::ActiveVehicle> active_vehicles(Tick now,
+                                                  VehicleId exclude) const;
+
+  /// Attack helper: warp one request's plan onto a colliding trajectory.
+  bool try_inject_conflict(std::vector<aim::TravelPlan>& plans, Tick now);
+  bool silenced(Tick now) const;
+
+  void set_state(ImState next) { state_ = next; }
+
+  ImContext ctx_;
+  aim::ReservationScheduler scheduler_;
+  ImAttackProfile attack_;
+
+  ImState state_{ImState::kStandby};
+  std::vector<PlanRequest> pending_requests_;
+  std::map<VehicleId, aim::TravelPlan> active_plans_;
+  crypto::Digest prev_hash_{};
+  chain::BlockSeq seq_{0};
+  std::deque<chain::Block> recent_blocks_;
+
+  std::map<std::uint64_t, VerificationRound> rounds_;
+  std::map<VehicleId, std::uint64_t> round_by_suspect_;
+  std::uint64_t next_round_id_{1};
+  std::map<VehicleId, int> reporter_strikes_;
+
+  std::set<VehicleId> unmanaged_ids_;
+  /// Every vehicle that ever requested a plan: a stale managed vehicle must
+  /// never be reclassified as a legacy vehicle.
+  std::set<VehicleId> ever_planned_;
+  VehicleId evacuation_suspect_;
+  int suspect_stopped_checks_{0};
+  std::set<VehicleId> confirmed_suspects_;
+  bool conflict_injected_{false};
+  bool sham_alert_sent_{false};
+};
+
+}  // namespace nwade::protocol

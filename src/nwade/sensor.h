@@ -1,0 +1,36 @@
+// Sensing abstraction: vehicles and the IM observe ground truth through this
+// interface ("autonomous vehicles are typically equipped with cameras, LiDAR,
+// and radar... these sensing abilities are sufficient to monitor neighboring
+// vehicles' behaviors"). The simulation world implements it.
+#pragma once
+
+#include <vector>
+
+#include "geom/vec2.h"
+#include "traffic/types.h"
+#include "util/types.h"
+
+namespace nwade::protocol {
+
+/// What a sensor sees of one vehicle: identity (via plates/traits matching),
+/// static traits, and instantaneous kinematic state.
+struct Observation {
+  VehicleId id;
+  traffic::VehicleTraits traits;
+  traffic::VehicleStatus status;
+};
+
+class SensorProvider {
+ public:
+  virtual ~SensorProvider() = default;
+
+  /// Ground-truth snapshot of all vehicles within `radius` of `center`,
+  /// excluding `exclude` (the observer itself).
+  virtual std::vector<Observation> sense_around(geom::Vec2 center, double radius,
+                                                VehicleId exclude) const = 0;
+
+  /// Observation of one specific vehicle if it is still on the road.
+  virtual std::optional<Observation> observe(VehicleId id) const = 0;
+};
+
+}  // namespace nwade::protocol

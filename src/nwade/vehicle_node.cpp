@@ -1,0 +1,848 @@
+#include "nwade/vehicle_node.h"
+
+#include <algorithm>
+#include <cassert>
+#include <chrono>
+#include <cstdlib>
+
+#include "util/log.h"
+
+namespace nwade::protocol {
+
+namespace {
+
+/// Wall-clock microseconds between two steady_clock points.
+double elapsed_us(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::micro>(std::chrono::steady_clock::now() -
+                                                   t0)
+      .count();
+}
+
+}  // namespace
+
+const char* vehicle_state_name(VehicleState s) {
+  switch (s) {
+    case VehicleState::kPreparation: return "preparation";
+    case VehicleState::kBlockVerification: return "block_verification";
+    case VehicleState::kTraveling: return "traveling";
+    case VehicleState::kLocalVerification: return "local_verification";
+    case VehicleState::kAwaitingResponse: return "awaiting_response";
+    case VehicleState::kGlobalVerification: return "global_verification";
+    case VehicleState::kSelfEvacuation: return "self_evacuation";
+    case VehicleState::kExited: return "exited";
+  }
+  return "?";
+}
+
+VehicleNode::VehicleNode(VehicleContext ctx, VehicleId id, int route_id,
+                         traffic::VehicleTraits traits, Tick spawn_time,
+                         VehicleAttackProfile attack)
+    : ctx_(ctx),
+      id_(id),
+      route_id_(route_id),
+      traits_(traits),
+      spawn_time_(spawn_time),
+      attack_(attack),
+      store_(ctx.config->chain_depth) {
+  assert(ctx_.intersection && ctx_.config && ctx_.network && ctx_.clock &&
+         ctx_.sensors && ctx_.metrics && ctx_.malicious_ids);
+}
+
+geom::Vec2 VehicleNode::position() const {
+  const auto& route = ctx_.intersection->route(route_id_);
+  const geom::Vec2 on_path = route.path.point_at(s_);
+  if (lateral_offset_ == 0.0) return on_path;
+  const geom::Vec2 normal = route.path.tangent_at(s_).perp();
+  return on_path + normal * lateral_offset_;
+}
+
+traffic::VehicleStatus VehicleNode::ground_truth() const {
+  traffic::VehicleStatus st;
+  st.position = position();
+  st.speed_mps = v_;
+  st.heading_rad = ctx_.intersection->route(route_id_).path.heading_at(s_);
+  return st;
+}
+
+void VehicleNode::start() {
+  auto req = std::make_shared<PlanRequest>();
+  req->vehicle = id_;
+  req->route_id = route_id_;
+  req->traits = traits_;
+  req->status = ground_truth();
+  ctx_.network->unicast(node_id(), kImNodeId, std::move(req));
+  set_state(VehicleState::kPreparation);
+}
+
+void VehicleNode::set_state(VehicleState next) { state_ = next; }
+
+int VehicleNode::adaptive_threshold() const {
+  return std::max(ctx_.config->global_report_threshold, sensed_neighbours_ / 2 + 1);
+}
+
+// --- physics -------------------------------------------------------------------
+
+void VehicleNode::step(Tick now, Duration dt_ms) {
+  if (state_ == VehicleState::kExited) return;
+  const auto& route = ctx_.intersection->route(route_id_);
+  const auto& limits = ctx_.intersection->config().limits;
+  const double dt = static_cast<double>(dt_ms) / 1000.0;
+
+  const bool deviating = attack_.role == VehicleRole::kDeviator &&
+                         now >= attack_.trigger_at && plan_.has_value();
+  if (deviating) {
+    if (!attack_fired_) {
+      attack_fired_ = true;
+      if (!ctx_.metrics->violation_start) ctx_.metrics->violation_start = now;
+      // Start the physical deviation from the plan's current state.
+      s_ = plan_->s_at(now);
+      v_ = plan_->v_at(now);
+    }
+    if (attack_.deviation == DeviationMode::kAccelerate) {
+      v_ = std::min(v_ + limits.max_accel_mps2 * dt, 1.3 * limits.speed_limit_mps);
+      // A sudden lane change accompanies the speed attack (paper Fig. 1a).
+      lateral_offset_ = std::min(lateral_offset_ + 1.2 * dt, 3.5);
+    } else {
+      v_ = std::max(v_ - limits.max_decel_mps2 * dt, 0.0);
+    }
+    s_ += v_ * dt;
+  } else if (state_ == VehicleState::kSelfEvacuation) {
+    if (s_ < route.core_begin - 5.0) {
+      // Pull over before the junction: brake and move onto the shoulder so
+      // watchers can tell a parked evacuee from an in-lane blocker.
+      v_ = std::max(v_ - limits.max_decel_mps2 * dt, 0.0);
+      lateral_offset_ = std::min(lateral_offset_ + 1.0 * dt, 3.5);
+    } else if (s_ < route.core_end) {
+      // Already inside: clear the core promptly but carefully.
+      v_ = std::max(v_, 0.4 * limits.speed_limit_mps);
+    } else {
+      v_ = std::min(v_ + limits.max_accel_mps2 * dt, limits.speed_limit_mps);
+    }
+    s_ += v_ * dt;
+  } else if (plan_) {
+    s_ = plan_->s_at(now);
+    v_ = plan_->v_at(now);
+  }
+  // else: preparation — hold at the communication-zone edge.
+
+  if (s_ >= route.path.length() - 0.05) {
+    set_state(VehicleState::kExited);
+    ctx_.metrics->vehicles_exited++;
+    return;
+  }
+
+  // Incident-report timeout: the IM never answered (Alg. 2 line 12).
+  if (state_ == VehicleState::kAwaitingResponse && now >= awaiting_deadline_) {
+    if (self_evac_announced_.contains(awaiting_suspect_) ||
+        confirmed_threats_.contains(awaiting_suspect_) ||
+        dismissed_suspects_.contains(awaiting_suspect_)) {
+      // The deviation got explained while we waited (announcement, alert, or
+      // dismissal that raced our own report): stand down.
+      set_state(VehicleState::kTraveling);
+    } else if (awaiting_retries_ < 1) {
+      // One retransmission before declaring the IM compromised: a single
+      // lost packet must not trigger an evacuation.
+      ++awaiting_retries_;
+      if (const auto obs = ctx_.sensors->observe(awaiting_suspect_)) {
+        const auto dev = deviation_of(*obs, now);
+        if (dev && *dev > ctx_.config->deviation_tolerance_m) {
+          reported_suspects_.erase(awaiting_suspect_);
+          report_incident(*obs, *dev, now);
+        } else {
+          set_state(VehicleState::kTraveling);  // deviation resolved itself
+        }
+      } else {
+        set_state(VehicleState::kTraveling);  // suspect left the scene
+      }
+    } else {
+      enter_self_evacuation(GlobalReason::kImUnresponsive, awaiting_suspect_, now);
+    }
+  }
+
+  // Plan never arrived (lost packet): ask again rather than wait forever.
+  if (state_ == VehicleState::kPreparation && !plan_ &&
+      now - spawn_time_ >= 2 * ctx_.config->processing_window_ms &&
+      now - last_plan_request_at_ >= 2'500) {
+    last_plan_request_at_ = now;
+    auto req = std::make_shared<PlanRequest>();
+    req->vehicle = id_;
+    req->route_id = route_id_;
+    req->traits = traits_;
+    req->status = ground_truth();
+    ctx_.network->unicast(node_id(), kImNodeId, std::move(req));
+  }
+
+  // While self-evacuating, re-broadcast the warning every few seconds so
+  // vehicles that enter the zone later also learn this deviation from the
+  // (stale) chain plan is announced, not an attack.
+  if (state_ == VehicleState::kSelfEvacuation &&
+      now - last_beacon_at_ >= kBeaconPeriodMs && global_report_sent_) {
+    last_beacon_at_ = now;
+    auto gr = std::make_shared<GlobalReport>();
+    gr->reporter = id_;
+    gr->reason = last_evac_reason_;
+    gr->suspect = last_evac_suspect_;
+    ctx_.network->broadcast(node_id(), std::move(gr));
+    ctx_.metrics->global_reports++;
+  }
+}
+
+// --- neighbourhood watch (Algorithm 2) -------------------------------------------
+
+void VehicleNode::watch(Tick now) {
+  if (!ctx_.config->security_enabled) return;
+  if (state_ == VehicleState::kPreparation || state_ == VehicleState::kExited) return;
+  // A self-evacuating vehicle focuses on leaving safely: it has written the
+  // IM off, already broadcast its warning, and ignores further chain state,
+  // so fresh incident reports from it would only compare against stale plans.
+  if (state_ == VehicleState::kSelfEvacuation) return;
+  if (attack_.role == VehicleRole::kDeviator) return;  // attackers don't help
+
+  if (attack_.role == VehicleRole::kFalseReporter) run_attack(now);
+
+  const auto observations =
+      ctx_.sensors->sense_around(position(), ctx_.config->sensing_radius_m, id_);
+  sensed_neighbours_ = static_cast<int>(observations.size());
+
+  // Check a pending sham-evacuation suspicion first. Wait for the scene to
+  // settle, and only cry sham when the "threat" is unambiguously on-plan —
+  // a borderline reading must never discredit a correct alert.
+  if (sham_check_suspect_ && now >= sham_check_after_) {
+    for (const Observation& obs : observations) {
+      if (obs.id != *sham_check_suspect_) continue;
+      const auto dev = deviation_of(obs, now);
+      if (dev && *dev < 0.5 * ctx_.config->deviation_tolerance_m) {
+        // The "threat" behaves exactly per plan: the alert was a sham.
+        auto report = std::make_shared<GlobalReport>();
+        report->reporter = id_;
+        report->reason = GlobalReason::kShamAlert;
+        report->suspect = obs.id;
+        report->suspect_status = obs.status;
+        ctx_.network->broadcast(node_id(), std::move(report));
+        ctx_.metrics->global_reports++;
+        if (!ctx_.metrics->sham_alert_detected) {
+          ctx_.metrics->sham_alert_detected = now;
+        }
+      }
+      sham_check_suspect_.reset();
+      break;
+    }
+  }
+
+  if (attack_.role != VehicleRole::kBenign) return;  // liars don't report truth
+
+  const auto in_cooldown = [now](const std::map<VehicleId, Tick>& m, VehicleId id,
+                                 Duration window) {
+    const auto it = m.find(id);
+    return it != m.end() && now - it->second < window;
+  };
+  for (const Observation& obs : observations) {
+    if (in_cooldown(reported_suspects_, obs.id, kReportCooldownMs)) continue;
+    if (in_cooldown(dismissed_suspects_, obs.id, kDismissCooldownMs)) continue;
+    if (confirmed_threats_.contains(obs.id)) continue;
+    if (self_evac_announced().contains(obs.id)) continue;
+
+    // Legacy vehicles have no plan to violate; their chain entries are the
+    // IM's virtual predictions, not commitments.
+    if (const aim::TravelPlan* p = lookup_plan(obs.id); p && p->unmanaged) continue;
+
+    const auto dev = deviation_of(obs, now);
+    if (!dev) {
+      request_plan_block(obs.id, now);
+      continue;
+    }
+    if (*dev <= ctx_.config->deviation_tolerance_m) continue;
+    // A stationary vehicle on the shoulder (well off its lane centreline) has
+    // pulled over — self-evacuated or broken down — and is no threat. A
+    // stationary vehicle still in the staging area at the communication-zone
+    // edge is waiting for (or lost) its plan, not attacking.
+    if (obs.status.speed_mps < 0.5) {
+      if (const aim::TravelPlan* p = lookup_plan(obs.id)) {
+        const auto& route = ctx_.intersection->route(p->route_id);
+        const auto [lateral, s_proj] = route.path.project(obs.status.position);
+        if (lateral > 2.5) continue;
+        if (s_proj < 30.0) continue;
+      }
+    }
+    if (state_ != VehicleState::kSelfEvacuation) {
+      set_state(VehicleState::kLocalVerification);
+    }
+    report_incident(obs, *dev, now);
+  }
+}
+
+const std::set<VehicleId>& VehicleNode::self_evac_announced() const {
+  return self_evac_announced_;
+}
+
+const aim::TravelPlan* VehicleNode::lookup_plan(VehicleId vehicle) const {
+  if (vehicle == id_) return plan_ ? &*plan_ : nullptr;
+  if (const aim::TravelPlan* p = store_.find_plan(vehicle)) return p;
+  const auto it = extra_plans_.find(vehicle);
+  return it != extra_plans_.end() ? &it->second : nullptr;
+}
+
+void VehicleNode::request_plan_block(VehicleId vehicle, Tick now) {
+  auto [it, fresh] = block_requests_inflight_.try_emplace(vehicle, now);
+  if (!fresh) {
+    if (now - it->second < 1000) return;  // rate-limit per target
+    it->second = now;
+  }
+  auto req = std::make_shared<BlockRequest>();
+  req->requester = id_;
+  req->plan_of = vehicle;
+  // Paper: "request the blocks from those vehicles in front of it" — a
+  // unicast to one peer, not a broadcast. The subject itself holds the block
+  // containing its own plan, so ask it directly; fall back to the IM.
+  if (ctx_.network->has_node(vehicle_node(vehicle))) {
+    ctx_.network->unicast(node_id(), vehicle_node(vehicle), std::move(req));
+  } else {
+    ctx_.network->unicast(node_id(), kImNodeId, std::move(req));
+  }
+}
+
+std::optional<double> VehicleNode::deviation_of(const Observation& obs,
+                                                Tick now) const {
+  const aim::TravelPlan* plan = lookup_plan(obs.id);
+  if (plan == nullptr) return std::nullopt;
+  const auto& route = ctx_.intersection->route(plan->route_id);
+  const traffic::VehicleStatus expected = plan->expected_status(route, now);
+  return (obs.status.position - expected.position).norm();
+}
+
+void VehicleNode::report_incident(const Observation& obs, double deviation,
+                                  Tick now) {
+  if (std::getenv("NWADE_DEBUG_VEHICLE")) {
+    const aim::TravelPlan* p = lookup_plan(obs.id);
+    std::fprintf(stderr,
+                 "REPORT t=%lld reporter=%llu suspect=%llu dev=%.1f plan_issued=%lld evac=%d unmanaged=%d route=%d s_exp=%.1f obs=(%.0f,%.0f) v=%.1f\n",
+                 (long long)now, (unsigned long long)id_.value,
+                 (unsigned long long)obs.id.value, deviation,
+                 p ? (long long)p->issued_at : -1, p ? (int)p->evacuation : -1,
+                 p ? (int)p->unmanaged : -1, p ? p->route_id : -1,
+                 p ? p->s_at(now) : -1.0, obs.status.position.x,
+                 obs.status.position.y, obs.status.speed_mps);
+  }
+  reported_suspects_[obs.id] = now;
+  auto report = std::make_shared<IncidentReport>();
+  report->reporter = id_;
+  report->evidence.suspect = obs.id;
+  report->evidence.observed = obs.status;
+  report->evidence.observed_at = now;
+  report->evidence.deviation_m = deviation;
+  if (const auto* latest = store_.latest()) report->block_seq = latest->seq;
+  ctx_.network->unicast(node_id(), kImNodeId, std::move(report));
+  ctx_.metrics->incident_reports++;
+  if (ctx_.malicious_ids->contains(obs.id) && !ctx_.metrics->first_true_incident) {
+    ctx_.metrics->first_true_incident = now;
+  }
+  // A self-evacuating reporter keeps evacuating; it does not re-enter the
+  // waiting state (it already gave up on the IM).
+  if (state_ != VehicleState::kSelfEvacuation) {
+    if (awaiting_suspect_ != obs.id) awaiting_retries_ = 0;
+    awaiting_suspect_ = obs.id;
+    awaiting_deadline_ = now + ctx_.config->im_response_timeout_ms;
+    set_state(VehicleState::kAwaitingResponse);
+  }
+}
+
+// --- message dispatch ------------------------------------------------------------
+
+void VehicleNode::on_message(const net::Envelope& env) {
+  if (state_ == VehicleState::kExited) return;
+  const Tick now = ctx_.clock->now();
+  if (const auto* bb = dynamic_cast<const BlockBroadcast*>(env.msg.get())) {
+    if (bb->block) handle_block(*bb->block, now);
+  } else if (const auto* br = dynamic_cast<const BlockRequest*>(env.msg.get())) {
+    handle_block_request(*br, env.from);
+  } else if (const auto* resp = dynamic_cast<const BlockResponse*>(env.msg.get())) {
+    handle_block_response(*resp, now);
+  } else if (const auto* vr = dynamic_cast<const VerifyRequest*>(env.msg.get())) {
+    handle_verify_request(*vr, now);
+  } else if (const auto* ad = dynamic_cast<const AlarmDismiss*>(env.msg.get())) {
+    handle_alarm_dismiss(*ad, now);
+  } else if (const auto* ea = dynamic_cast<const EvacuationAlert*>(env.msg.get())) {
+    handle_evacuation_alert(*ea, now);
+  } else if (const auto* gr = dynamic_cast<const GlobalReport*>(env.msg.get())) {
+    handle_global_report(*gr, now);
+  }
+}
+
+// --- Algorithm 1: block verification ----------------------------------------------
+
+bool VehicleNode::verify_block(const chain::Block& block, Tick now, std::string* why) {
+  // (i), (iii): signature, Merkle root, linkage — structural checks.
+  const auto appended = store_.append(block, *ctx_.im_verifier);
+  if (!appended) {
+    switch (appended.error()) {
+      case chain::ChainError::kNonMonotonicSeq: {
+        const auto* latest = store_.latest();
+        if (latest != nullptr && block.seq <= latest->seq) {
+          return true;  // duplicate rebroadcast; harmless
+        }
+        // A gap: this vehicle missed blocks (packet loss or joining
+        // mid-stream). Fetch the missed blocks from the IM — one of them may
+        // carry our own superseding plan — then resync from this block.
+        if (latest != nullptr) {
+          const chain::BlockSeq from = latest->seq + 1;
+          for (chain::BlockSeq seq = from;
+               seq < block.seq && seq < from + 4; ++seq) {
+            auto req = std::make_shared<BlockRequest>();
+            req->requester = id_;
+            req->by_seq = true;
+            req->seq = seq;
+            ctx_.network->unicast(node_id(), kImNodeId, std::move(req));
+          }
+        }
+        store_ = chain::BlockStore(ctx_.config->chain_depth);
+        const auto retry = store_.append(block, *ctx_.im_verifier);
+        if (retry) break;
+        *why = chain_error_name(retry.error());
+        return false;
+      }
+      default:
+        *why = chain_error_name(appended.error());
+        return false;
+    }
+  }
+
+  // (ii), (iv): the plans themselves must be mutually conflict-free, both
+  // within this block and against the cached chain (latest plan per vehicle).
+  std::map<VehicleId, const aim::TravelPlan*> latest_plans;
+  for (auto it = store_.blocks().rbegin(); it != store_.blocks().rend(); ++it) {
+    for (const aim::TravelPlan& p : it->plans) {
+      latest_plans.try_emplace(p.vehicle, &p);
+    }
+  }
+  std::vector<const aim::TravelPlan*> plans;
+  plans.reserve(latest_plans.size());
+  for (const auto& [vid, p] : latest_plans) {
+    // Confirmed threats and announced self-evacuees no longer follow their
+    // chain plans; those plans are void, not conflicting.
+    if (confirmed_threats_.contains(vid)) continue;
+    if (self_evac_announced_.contains(vid)) continue;
+    // Evacuation plans are emergency stop/slow-down profiles issued without
+    // fresh reservations; they are integrity-checked but exempt from the
+    // conflict check (on-board collision avoidance governs during emergencies).
+    if (p->evacuation) continue;
+    // Virtual legacy-vehicle predictions are best-effort, not scheduling.
+    if (p->unmanaged) continue;
+    // Plans that start inside the core (recovery plans for vehicles that were
+    // physically mid-crossing) are grandfathered: their occupancy is present
+    // fact, not a scheduling decision. A malicious IM forging "mid-core"
+    // positions is caught by the neighbourhood watch instead.
+    if (p->segments.empty() ||
+        p->segments.front().s0 >= ctx_.intersection->route(p->route_id).core_begin) {
+      continue;
+    }
+    plans.push_back(p);
+  }
+  const auto conflicts =
+      aim::find_plan_conflicts(*ctx_.intersection, plans,
+                               ctx_.config->plan_check_margin_ms);
+  if (!conflicts.empty()) {
+    *why = "conflicting_plans";
+    return false;
+  }
+  (void)now;
+  return true;
+}
+
+void VehicleNode::handle_block(const chain::Block& block, Tick now) {
+  // A self-evacuating vehicle has written the IM off; it ignores new blocks.
+  if (state_ == VehicleState::kSelfEvacuation) return;
+  if (!ctx_.config->security_enabled) {
+    // Plain AIM mode: trust the block wholesale, just adopt our plan.
+    if (const aim::TravelPlan* mine = block.plan_for(id_)) {
+      plan_ = *mine;
+      if (state_ == VehicleState::kPreparation) set_state(VehicleState::kTraveling);
+    }
+    return;
+  }
+  // Verification is a transient excursion: remember where to come back to so
+  // e.g. an AwaitingResponse timeout is not silently cancelled by the next
+  // routine block broadcast.
+  const VehicleState prev = state_;
+  if (prev != VehicleState::kPreparation) set_state(VehicleState::kBlockVerification);
+  const auto t0 = std::chrono::steady_clock::now();
+  std::string why;
+  const bool ok = verify_block(block, now, &why);
+  ctx_.metrics->vehicle_verify_us.push_back(elapsed_us(t0));
+
+  if (!ok) {
+    if (std::getenv("NWADE_DEBUG_VEHICLE")) {
+      std::fprintf(stderr, "VERIFY-FAIL t=%lld vehicle=%llu block=%llu why=%s\n",
+                   (long long)now, (unsigned long long)id_.value,
+                   (unsigned long long)block.seq, why.c_str());
+    }
+    ctx_.metrics->block_verification_failures++;
+    if (!ctx_.metrics->im_conflict_detected) ctx_.metrics->im_conflict_detected = now;
+    NWADE_LOG(kInfo) << "vehicle " << id_.value << " rejected block " << block.seq
+                     << " (" << why << ")";
+    enter_self_evacuation(GlobalReason::kConflictingPlans, VehicleId{}, now);
+    return;
+  }
+  set_state(prev);
+
+  // Learn revocations carried by the chain (e.g. a confirmed threat whose
+  // evacuation alert predates our arrival).
+  for (VehicleId v : block.revoked) confirmed_threats_.insert(v);
+
+  // Adopt our own plan if this block carries one (initial, evacuation, or
+  // recovery plans all arrive this way).
+  if (const aim::TravelPlan* mine = block.plan_for(id_)) {
+    if (state_ != VehicleState::kSelfEvacuation) {
+      plan_ = *mine;
+      if (state_ == VehicleState::kPreparation) set_state(VehicleState::kTraveling);
+    }
+  }
+}
+
+void VehicleNode::handle_block_request(const BlockRequest& req, NodeId from) {
+  const chain::Block* found = nullptr;
+  if (req.by_seq) {
+    found = store_.by_seq(req.seq);
+  } else {
+    for (auto it = store_.blocks().rbegin(); it != store_.blocks().rend(); ++it) {
+      if (it->plan_for(req.plan_of) != nullptr) {
+        found = &*it;
+        break;
+      }
+    }
+  }
+  if (found == nullptr) return;
+  auto resp = std::make_shared<BlockResponse>();
+  resp->plan_of = req.plan_of;
+  resp->block = std::make_shared<chain::Block>(*found);
+  ctx_.network->unicast(node_id(), from, std::move(resp));
+}
+
+void VehicleNode::handle_block_response(const BlockResponse& resp, Tick now) {
+  if (!resp.block) return;
+  // The block cannot always be appended (it may predate our cache window), so
+  // verify it standalone and harvest plans from it.
+  if (!resp.block->verify_signature(*ctx_.im_verifier)) return;
+  if (!resp.block->verify_merkle()) return;
+
+  // A pending conflicting-plans claim about this block?
+  if (pending_conflict_claims_.contains(resp.block->seq)) {
+    pending_conflict_claims_.erase(resp.block->seq);
+    // Same filters as Algorithm 1: emergency plans and grandfathered mid-core
+    // plans are not scheduling decisions and must not be judged as conflicts.
+    std::vector<const aim::TravelPlan*> plans;
+    for (const aim::TravelPlan& p : resp.block->plans) {
+      if (p.evacuation || p.unmanaged) continue;
+      if (confirmed_threats_.contains(p.vehicle)) continue;
+      if (p.segments.empty() ||
+          p.segments.front().s0 >=
+              ctx_.intersection->route(p.route_id).core_begin) {
+        continue;
+      }
+      plans.push_back(&p);
+    }
+    const auto conflicts = aim::find_plan_conflicts(
+        *ctx_.intersection, plans, ctx_.config->plan_check_margin_ms);
+    if (!conflicts.empty()) {
+      if (!ctx_.metrics->im_conflict_detected) ctx_.metrics->im_conflict_detected = now;
+      enter_self_evacuation(GlobalReason::kConflictingPlans, VehicleId{}, now);
+      return;
+    }
+    if (!ctx_.metrics->false_global_detected) ctx_.metrics->false_global_detected = now;
+  }
+
+  for (const aim::TravelPlan& p : resp.block->plans) {
+    // Keep only the newest plan per vehicle.
+    const auto it = extra_plans_.find(p.vehicle);
+    if (it == extra_plans_.end() || it->second.issued_at < p.issued_at) {
+      extra_plans_[p.vehicle] = p;
+    }
+  }
+  // Our own plan may arrive this way when the original broadcast was lost.
+  if (const aim::TravelPlan* mine = resp.block->plan_for(id_)) {
+    if (!plan_ || plan_->issued_at < mine->issued_at) {
+      if (state_ != VehicleState::kSelfEvacuation) {
+        plan_ = *mine;
+        if (state_ == VehicleState::kPreparation) {
+          set_state(VehicleState::kTraveling);
+        }
+      }
+    }
+  }
+}
+
+// --- verification votes -------------------------------------------------------------
+
+void VehicleNode::handle_verify_request(const VerifyRequest& req, Tick now) {
+  auto resp = std::make_shared<VerifyResponse>();
+  resp->request_id = req.request_id;
+  resp->responder = id_;
+  resp->suspect = req.suspect;
+
+  if (attack_.role != VehicleRole::kBenign) {
+    // Collusion: cover fellow attackers, frame benign vehicles.
+    resp->abnormal = !ctx_.malicious_ids->contains(req.suspect);
+  } else {
+    const auto obs = ctx_.sensors->observe(req.suspect);
+    if (obs && obs->status.position.distance_to(position()) <=
+                   ctx_.config->sensing_radius_m) {
+      const auto dev = deviation_of(*obs, now);
+      resp->abnormal = dev.has_value() && *dev > ctx_.config->deviation_tolerance_m;
+      resp->evidence.suspect = req.suspect;
+      resp->evidence.observed = obs->status;
+      resp->evidence.observed_at = now;
+      resp->evidence.deviation_m = dev.value_or(0.0);
+    } else {
+      resp->abnormal = false;  // cannot confirm
+    }
+  }
+  ctx_.network->unicast(node_id(), kImNodeId, std::move(resp));
+}
+
+void VehicleNode::handle_alarm_dismiss(const AlarmDismiss& msg, Tick now) {
+  dismissed_suspects_[msg.suspect] = now;
+  global_reporters_per_suspect_.erase(msg.suspect);
+  if (state_ == VehicleState::kAwaitingResponse && awaiting_suspect_ == msg.suspect) {
+    set_state(VehicleState::kTraveling);
+  }
+}
+
+void VehicleNode::handle_evacuation_alert(const EvacuationAlert& alert, Tick now) {
+  (void)now;
+  confirmed_threats_.insert(alert.suspect);
+  if (state_ == VehicleState::kAwaitingResponse) {
+    set_state(VehicleState::kTraveling);  // the IM responded; plans will follow
+  }
+  // Trust but verify: if the "threat" is nearby and acting normally, the
+  // alert is a sham from a compromised IM (checked after a settling delay).
+  if (alert.suspect != id_) {
+    sham_check_suspect_ = alert.suspect;
+    sham_check_after_ = now + 1500;
+  }
+}
+
+// --- Algorithm 3: global verification -------------------------------------------------
+
+void VehicleNode::handle_global_report(const GlobalReport& report, Tick now) {
+  if (report.reporter == id_) return;
+  // A global report implies its sender is self-evacuating; watchers must not
+  // treat that announced deviation as a fresh attack.
+  self_evac_announced_.insert(report.reporter);
+  // If we had reported this very vehicle and were waiting on the IM, the
+  // announcement explains the deviation: stand down.
+  if (state_ == VehicleState::kAwaitingResponse &&
+      awaiting_suspect_ == report.reporter) {
+    set_state(VehicleState::kTraveling);
+  }
+  if (state_ == VehicleState::kSelfEvacuation) return;
+
+  const VehicleState prev = state_;
+  set_state(VehicleState::kGlobalVerification);
+  switch (report.reason) {
+    case GlobalReason::kConflictingPlans: {
+      if (const chain::Block* block = store_.by_seq(report.block_seq)) {
+        (void)block;
+        // We verified this block when it arrived and found it clean, so the
+        // report is false: notify the IM about the lying reporter.
+        if (!ctx_.metrics->false_global_detected &&
+            ctx_.malicious_ids->contains(report.reporter)) {
+          ctx_.metrics->false_global_detected = now;
+        }
+        if (!denounced_reporters_.contains(report.reporter)) {
+          denounced_reporters_.insert(report.reporter);
+          auto ir = std::make_shared<IncidentReport>();
+          ir->reporter = id_;
+          ir->evidence.suspect = report.reporter;
+          ir->evidence.observed_at = now;
+          ir->block_seq = report.block_seq;
+          ir->misbehavior_claim = true;
+          ctx_.network->unicast(node_id(), kImNodeId, std::move(ir));
+          ctx_.metrics->incident_reports++;
+        }
+      } else {
+        // We never saw that block: fetch it from peers and judge then.
+        pending_conflict_claims_.insert(report.block_seq);
+        auto req = std::make_shared<BlockRequest>();
+        req->requester = id_;
+        req->by_seq = true;
+        req->seq = report.block_seq;
+        // The IM archives recent blocks; integrity is signature-protected,
+        // so fetching from the accused party itself is still sound.
+        ctx_.network->unicast(node_id(), kImNodeId, std::move(req));
+      }
+      break;
+    }
+    case GlobalReason::kAbnormalVehicle:
+    case GlobalReason::kImUnresponsive: {
+      const VehicleId suspect = report.suspect;
+      if (!suspect.valid()) break;
+      // The IM has confirmed this threat and is running the evacuation; the
+      // global reports are expected echoes, not a sign of IM failure.
+      if (confirmed_threats_.contains(suspect)) break;
+      if (const auto it = dismissed_suspects_.find(suspect);
+          it != dismissed_suspects_.end() && now - it->second < kDismissCooldownMs) {
+        break;
+      }
+      const auto obs = ctx_.sensors->observe(suspect);
+      const bool nearby =
+          obs && obs->status.position.distance_to(position()) <=
+                     ctx_.config->sensing_radius_m;
+      if (nearby) {
+        // Algorithm 3 (ii): verify locally instead of counting votes.
+        const auto dev = deviation_of(*obs, now);
+        const auto rep_it = reported_suspects_.find(suspect);
+        const bool recently_reported =
+            rep_it != reported_suspects_.end() &&
+            now - rep_it->second < kReportCooldownMs;
+        if (dev && *dev > ctx_.config->deviation_tolerance_m && !recently_reported &&
+            attack_.role == VehicleRole::kBenign) {
+          report_incident(*obs, *dev, now);
+        } else if (dev && *dev <= ctx_.config->deviation_tolerance_m &&
+                   attack_.role == VehicleRole::kBenign &&
+                   ctx_.malicious_ids->contains(report.reporter) &&
+                   !ctx_.metrics->false_incident_dismissed) {
+          // The campaign's target behaves exactly per plan: a local witness
+          // has refuted the lie (counts as detection when the IM is silent).
+          ctx_.metrics->false_incident_dismissed = now;
+        }
+        break;
+      }
+      // Far away: count distinct reporters against the safety threshold.
+      auto& reporters = global_reporters_per_suspect_[suspect];
+      reporters.insert(report.reporter);
+      if (static_cast<int>(reporters.size()) >= adaptive_threshold()) {
+        enter_self_evacuation(GlobalReason::kAbnormalVehicle, suspect, now);
+        return;
+      }
+      break;
+    }
+    case GlobalReason::kShamAlert: {
+      im_distrust_reporters_.insert(report.reporter);
+      if (static_cast<int>(im_distrust_reporters_.size()) >= 2) {
+        enter_self_evacuation(GlobalReason::kShamAlert, report.suspect, now);
+        return;
+      }
+      break;
+    }
+  }
+  if (state_ == VehicleState::kGlobalVerification) set_state(prev);
+}
+
+// --- attacks ---------------------------------------------------------------------------
+
+void VehicleNode::run_attack(Tick now) {
+  if (attack_fired_ || now < attack_.trigger_at) return;
+  if (attack_.false_report == FalseReportKind::kIncident) {
+    inject_false_incident(now);
+  } else {
+    inject_false_global(now);
+  }
+}
+
+void VehicleNode::inject_false_incident(Tick now) {
+  // Frame the nearest non-colluding vehicle.
+  const auto observations =
+      ctx_.sensors->sense_around(position(), ctx_.config->sensing_radius_m, id_);
+  const Observation* target = nullptr;
+  double best = std::numeric_limits<double>::max();
+  for (const Observation& obs : observations) {
+    if (ctx_.malicious_ids->contains(obs.id)) continue;
+    const double d = obs.status.position.distance_to(position());
+    if (d < best) {
+      best = d;
+      target = &obs;
+    }
+  }
+  if (target == nullptr) return;  // retry at the next watch tick
+  attack_fired_ = true;
+  if (!ctx_.metrics->false_incident_injected) {
+    ctx_.metrics->false_incident_injected = now;
+  }
+
+  // Fabricated evidence: shift the observed position far off the plan.
+  Evidence fabricated;
+  fabricated.suspect = target->id;
+  fabricated.observed = target->status;
+  fabricated.observed.position.x += 20.0;
+  fabricated.observed_at = now;
+  fabricated.deviation_m = 20.0;
+
+  auto ir = std::make_shared<IncidentReport>();
+  ir->reporter = id_;
+  ir->evidence = fabricated;
+  if (const auto* latest = store_.latest()) ir->block_seq = latest->seq;
+  ctx_.network->unicast(node_id(), kImNodeId, std::move(ir));
+  ctx_.metrics->incident_reports++;
+
+  // Amplify with a global report to sway distant vehicles.
+  auto gr = std::make_shared<GlobalReport>();
+  gr->reporter = id_;
+  gr->reason = GlobalReason::kAbnormalVehicle;
+  gr->suspect = fabricated.suspect;
+  gr->suspect_status = fabricated.observed;
+  ctx_.network->broadcast(node_id(), std::move(gr));
+  ctx_.metrics->global_reports++;
+}
+
+void VehicleNode::inject_false_global(Tick now) {
+  attack_fired_ = true;
+  if (!ctx_.metrics->false_global_injected) {
+    ctx_.metrics->false_global_injected = now;
+  }
+  auto gr = std::make_shared<GlobalReport>();
+  gr->reporter = id_;
+  gr->reason = GlobalReason::kConflictingPlans;
+  gr->block_seq = store_.latest() != nullptr ? store_.latest()->seq : 0;
+  ctx_.network->broadcast(node_id(), std::move(gr));
+  ctx_.metrics->global_reports++;
+}
+
+// --- self-evacuation ---------------------------------------------------------------------
+
+void VehicleNode::enter_self_evacuation(GlobalReason reason, VehicleId suspect,
+                                        Tick now) {
+  if (state_ == VehicleState::kSelfEvacuation || state_ == VehicleState::kExited) {
+    return;
+  }
+  set_state(VehicleState::kSelfEvacuation);
+  if (std::getenv("NWADE_DEBUG_VEHICLE")) {
+    std::fprintf(stderr, "SELF-EVAC t=%lld vehicle=%llu reason=%s suspect=%llu\n",
+                 (long long)now, (unsigned long long)id_.value,
+                 global_reason_name(reason), (unsigned long long)suspect.value);
+  }
+  if (attack_.role == VehicleRole::kBenign) {
+    ctx_.metrics->benign_self_evacuations++;
+    if (suspect.valid() && !ctx_.malicious_ids->contains(suspect)) {
+      // Evacuating because of a campaign against an innocent vehicle: this is
+      // exactly the false-alarm "trigger" Table II measures.
+      ctx_.metrics->false_alarm_evacuations++;
+      if (std::getenv("NWADE_DEBUG_VEHICLE")) {
+        std::fprintf(stderr, "FALSE-EVAC t=%lld vehicle=%llu reason=%s suspect=%llu\n",
+                     (long long)now, (unsigned long long)id_.value,
+                     global_reason_name(reason), (unsigned long long)suspect.value);
+      }
+    }
+    if (suspect.valid() && ctx_.malicious_ids->contains(suspect) &&
+        !ctx_.metrics->deviation_confirmed) {
+      ctx_.metrics->deviation_confirmed = now;
+    }
+  }
+  last_evac_reason_ = reason;
+  last_evac_suspect_ = suspect;
+  if (!global_report_sent_) {
+    global_report_sent_ = true;
+    last_beacon_at_ = now;
+    auto gr = std::make_shared<GlobalReport>();
+    gr->reporter = id_;
+    gr->reason = reason;
+    gr->suspect = suspect;
+    if (reason == GlobalReason::kConflictingPlans && store_.latest() != nullptr) {
+      gr->block_seq = store_.latest()->seq;
+    }
+    ctx_.network->broadcast(node_id(), std::move(gr));
+    ctx_.metrics->global_reports++;
+  }
+  NWADE_LOG(kInfo) << "vehicle " << id_.value << " self-evacuating ("
+                   << global_reason_name(reason) << ")";
+}
+
+}  // namespace nwade::protocol

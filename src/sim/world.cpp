@@ -1,0 +1,343 @@
+#include "sim/world.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/log.h"
+
+namespace nwade::sim {
+
+using protocol::VehicleAttackProfile;
+using protocol::VehicleRole;
+
+World::World(ScenarioConfig config)
+    : config_(std::move(config)),
+      intersection_(traffic::Intersection::build(config_.intersection)) {
+  config_.nwade.security_enabled = config_.nwade_enabled;
+
+  net::NetworkConfig net_cfg = config_.network;
+  net_cfg.seed = config_.seed ^ 0x6e657477ULL;
+  network_ = std::make_unique<net::Network>(queue_, clock_, net_cfg);
+
+  Rng rng(config_.seed);
+  switch (config_.signer) {
+    case SignerKind::kHmac: {
+      Bytes key(32);
+      for (auto& b : key) b = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+      signer_ = std::make_unique<crypto::HmacSigner>(std::move(key));
+      break;
+    }
+    case SignerKind::kRsa1024:
+      signer_ = crypto::RsaSigner::generate(rng, 1024);
+      break;
+    case SignerKind::kRsa2048:
+      signer_ = crypto::RsaSigner::generate(rng, 2048);
+      break;
+  }
+
+  // Arrival schedule + attacker role assignment.
+  traffic::ArrivalGenerator gen(intersection_, config_.vehicles_per_minute,
+                                rng.fork(1));
+  auto arrivals = gen.generate(config_.duration_ms);
+  assign_attack_roles(arrivals);
+
+  // Intersection manager.
+  protocol::ImAttackProfile im_attack;
+  if (config_.attack.im_malicious) {
+    im_attack.mode = config_.im_attack_mode;
+    im_attack.trigger_at = config_.attack_time;
+  }
+  protocol::ImContext im_ctx;
+  im_ctx.intersection = &intersection_;
+  im_ctx.config = &config_.nwade;
+  im_ctx.network = network_.get();
+  im_ctx.clock = &clock_;
+  im_ctx.queue = &queue_;
+  im_ctx.sensors = this;
+  im_ctx.signer = signer_.get();
+  im_ctx.metrics = &metrics_;
+  im_ctx.malicious_ids = &malicious_ids_;
+  im_ = std::make_unique<protocol::ImNode>(im_ctx, config_.scheduler, im_attack);
+  network_->add_node(im_.get());
+  im_->start();
+
+  // Schedule spawns. A configurable fraction of arrivals are legacy
+  // vehicles (mixed-traffic extension); attacker roles always go to managed
+  // vehicles, so role-assigned indices stay managed.
+  Rng legacy_rng = rng.fork(2);
+  std::uint64_t next_id = 1;
+  int managed = 0;
+  for (const traffic::Arrival& arrival : arrivals) {
+    const VehicleId id{next_id++};
+    const bool is_legacy = !attack_roles_.contains(id) &&
+                           legacy_rng.chance(config_.legacy_fraction);
+    if (is_legacy) {
+      queue_.schedule_at(arrival.time,
+                         [this, arrival, id] { spawn_legacy(arrival, id); });
+    } else {
+      ++managed;
+      queue_.schedule_at(arrival.time, [this, arrival, id] { spawn(arrival, id); });
+    }
+  }
+  metrics_.vehicles_spawned = managed;
+}
+
+World::~World() = default;
+
+void World::assign_attack_roles(std::vector<traffic::Arrival>& arrivals) {
+  const auto& attack = config_.attack;
+  const int total_malicious = attack.plan_violations + attack.false_reports;
+  if (total_malicious == 0) return;
+
+  // Prefer vehicles spawning 4-16 s before the attack time: they hold plans
+  // and still sit mid-approach (not yet exited) when the trigger fires.
+  std::vector<std::size_t> candidates;
+  for (std::size_t i = 0; i < arrivals.size(); ++i) {
+    const Tick lead = config_.attack_time - arrivals[i].time;
+    if (lead >= 4'000 && lead <= 16'000) candidates.push_back(i);
+  }
+  // Fall back to anything before the attack if the preferred window is thin.
+  if (static_cast<int>(candidates.size()) < total_malicious) {
+    for (std::size_t i = 0; i < arrivals.size(); ++i) {
+      if (arrivals[i].time < config_.attack_time - 2'000 &&
+          std::find(candidates.begin(), candidates.end(), i) == candidates.end()) {
+        candidates.push_back(i);
+      }
+    }
+  }
+
+  int assigned = 0;
+  for (std::size_t idx : candidates) {
+    if (assigned >= total_malicious) break;
+    const VehicleId id{idx + 1};  // ids are assigned in arrival order
+    VehicleAttackProfile profile;
+    if (assigned < attack.plan_violations) {
+      profile.role = VehicleRole::kDeviator;
+      profile.trigger_at = config_.attack_time;
+      profile.deviation = (assigned % 2 == 0) ? protocol::DeviationMode::kAccelerate
+                                              : protocol::DeviationMode::kBrake;
+    } else {
+      profile.role = VehicleRole::kFalseReporter;
+      profile.trigger_at = config_.attack_time + 300 * (assigned + 1);
+      profile.false_report = config_.false_report_kind;
+    }
+    attack_roles_[id] = profile;
+    malicious_ids_.insert(id);
+    ++assigned;
+  }
+}
+
+void World::spawn(const traffic::Arrival& arrival, VehicleId id) {
+  protocol::VehicleContext ctx;
+  ctx.intersection = &intersection_;
+  ctx.config = &config_.nwade;
+  ctx.network = network_.get();
+  ctx.clock = &clock_;
+  ctx.sensors = this;
+  ctx.im_verifier = signer_->verifier();
+  ctx.metrics = &metrics_;
+  ctx.malicious_ids = &malicious_ids_;
+
+  VehicleAttackProfile profile;
+  if (const auto it = attack_roles_.find(id); it != attack_roles_.end()) {
+    profile = it->second;
+  }
+  auto node = std::make_unique<protocol::VehicleNode>(
+      ctx, id, arrival.route_id, arrival.traits, clock_.now(), profile);
+  network_->add_node(node.get());
+  node->start();
+  spawn_times_[id] = clock_.now();
+  vehicles_[id] = std::move(node);
+}
+
+void World::spawn_legacy(const traffic::Arrival& arrival, VehicleId id) {
+  LegacyVehicle l;
+  l.route_id = arrival.route_id;
+  l.traits = arrival.traits;
+  l.s = 0;
+  // Legacy drivers cruise conservatively through unfamiliar smart junctions.
+  l.cruise = std::min(arrival.initial_speed_mps,
+                      0.6 * intersection_.config().limits.speed_limit_mps);
+  l.v = l.cruise;
+  legacy_[id] = l;
+  spawn_times_[id] = clock_.now();
+}
+
+geom::Vec2 World::legacy_position(const LegacyVehicle& l) const {
+  return intersection_.route(l.route_id).path.point_at(l.s);
+}
+
+void World::step_legacy(Duration dt_ms) {
+  const double dt = static_cast<double>(dt_ms) / 1000.0;
+  const auto& limits = intersection_.config().limits;
+  for (auto& [id, l] : legacy_) {
+    if (l.exited) continue;
+    // Simple car-following: brake for any vehicle ahead on the same route.
+    double gap = 1e9;
+    for (const auto& [oid, v] : vehicles_) {
+      if (v->exited() || v->route_id() != l.route_id) continue;
+      const double ds = v->progress_s() - l.s;
+      if (ds > 0.1) gap = std::min(gap, ds);
+    }
+    for (const auto& [oid, o] : legacy_) {
+      if (oid == id || o.exited || o.route_id != l.route_id) continue;
+      const double ds = o.s - l.s;
+      if (ds > 0.1) gap = std::min(gap, ds);
+    }
+    double target = l.cruise;
+    if (gap < 45.0) target = std::min(target, 0.35 * std::max(0.0, gap - 10.0));
+    if (l.v < target) {
+      l.v = std::min(l.v + limits.max_accel_mps2 * dt, target);
+    } else {
+      l.v = std::max(l.v - limits.max_decel_mps2 * dt, target);
+    }
+    l.s += l.v * dt;
+    if (l.s >= intersection_.route(l.route_id).path.length() - 0.05) {
+      l.exited = true;
+    }
+  }
+}
+
+void World::step_world(Tick now) {
+  const Duration dt = config_.step_ms;
+  const auto watch_every =
+      std::max<Tick>(1, config_.nwade.watch_interval_ms / config_.step_ms);
+  const Tick step_index = now / config_.step_ms;
+
+  step_legacy(dt);
+
+  // Phase 1: physics for everyone, so watchers later observe a consistent
+  // time-t snapshot regardless of iteration order.
+  for (auto& [id, vehicle] : vehicles_) {
+    if (vehicle->exited()) continue;
+    vehicle->step(now, dt);
+    if (vehicle->exited()) {
+      network_->remove_node(vehicle->node_id());
+      crossing_times_.push_back(now - spawn_times_[id]);
+    }
+  }
+  // Phase 2: the neighbourhood watch, staggered to avoid synchronized bursts.
+  for (auto& [id, vehicle] : vehicles_) {
+    if (vehicle->exited()) continue;
+    if ((step_index + static_cast<Tick>(id.value)) % watch_every == 0) {
+      vehicle->watch(now);
+    }
+  }
+
+  // Ground-truth proximity audit once per simulated second (managed and
+  // legacy vehicles alike; the staging area is excluded).
+  if (now % 1000 == 0) {
+    struct Probe {
+      geom::Vec2 pos;
+      double s;
+    };
+    std::vector<Probe> active;
+    for (const auto& [id, v] : vehicles_) {
+      if (!v->exited() && v->has_plan()) {
+        active.push_back(Probe{v->position(), v->progress_s()});
+      }
+    }
+    for (const auto& [id, l] : legacy_) {
+      if (!l.exited) active.push_back(Probe{legacy_position(l), l.s});
+    }
+    for (std::size_t i = 0; i < active.size(); ++i) {
+      for (std::size_t j = i + 1; j < active.size(); ++j) {
+        // The first 30 m of every route is the staging area at the edge of
+        // the communication zone: vehicles planned in the same processing
+        // window depart together from there and separate as their assigned
+        // speeds diverge. Only positions past staging are audited.
+        if (active[i].s < 30.0 && active[j].s < 30.0) continue;
+        if (active[i].pos.distance_to(active[j].pos) < 1.5) {
+          ++gap_violations_;
+        }
+      }
+    }
+  }
+}
+
+void World::run_until(Tick t) {
+  while (stepped_until_ < t) {
+    stepped_until_ += config_.step_ms;
+    queue_.run_until(stepped_until_, clock_);
+    step_world(stepped_until_);
+  }
+}
+
+RunSummary World::run() {
+  run_until(config_.duration_ms);
+  return summary();
+}
+
+RunSummary World::summary() const {
+  RunSummary s;
+  s.metrics = metrics_;
+  s.net_stats = network_->stats();
+  const double minutes = ticks_to_seconds(stepped_until_ > 0 ? stepped_until_ : 1) / 60.0;
+  s.throughput_vpm = metrics_.vehicles_exited / std::max(minutes, 1e-9);
+  double total = 0;
+  for (Duration d : crossing_times_) total += static_cast<double>(d);
+  s.mean_crossing_ms =
+      crossing_times_.empty() ? 0 : total / static_cast<double>(crossing_times_.size());
+  int active = 0;
+  for (const auto& [id, v] : vehicles_) active += v->exited() ? 0 : 1;
+  s.active_at_end = active;
+  s.min_ground_truth_gap_violations = gap_violations_;
+  s.legacy_spawned = static_cast<int>(legacy_.size());
+  for (const auto& [id, l] : legacy_) s.legacy_exited += l.exited ? 1 : 0;
+  return s;
+}
+
+std::vector<protocol::Observation> World::sense_around(geom::Vec2 center,
+                                                       double radius,
+                                                       VehicleId exclude) const {
+  std::vector<protocol::Observation> out;
+  for (const auto& [id, v] : vehicles_) {
+    if (id == exclude || v->exited() || !v->has_plan()) continue;
+    const geom::Vec2 pos = v->position();
+    if (pos.distance_to(center) > radius) continue;
+    out.push_back(protocol::Observation{id, v->traits(), v->ground_truth()});
+  }
+  for (const auto& [id, l] : legacy_) {
+    if (id == exclude || l.exited) continue;
+    const geom::Vec2 pos = legacy_position(l);
+    if (pos.distance_to(center) > radius) continue;
+    traffic::VehicleStatus st;
+    st.position = pos;
+    st.speed_mps = l.v;
+    st.heading_rad = intersection_.route(l.route_id).path.heading_at(l.s);
+    out.push_back(protocol::Observation{id, l.traits, st});
+  }
+  return out;
+}
+
+std::optional<protocol::Observation> World::observe(VehicleId id) const {
+  if (const auto it = vehicles_.find(id); it != vehicles_.end()) {
+    if (it->second->exited()) return std::nullopt;
+    return protocol::Observation{id, it->second->traits(),
+                                 it->second->ground_truth()};
+  }
+  if (const auto it = legacy_.find(id); it != legacy_.end()) {
+    if (it->second.exited) return std::nullopt;
+    traffic::VehicleStatus st;
+    st.position = legacy_position(it->second);
+    st.speed_mps = it->second.v;
+    st.heading_rad =
+        intersection_.route(it->second.route_id).path.heading_at(it->second.s);
+    return protocol::Observation{id, it->second.traits, st};
+  }
+  return std::nullopt;
+}
+
+protocol::VehicleNode* World::vehicle(VehicleId id) {
+  const auto it = vehicles_.find(id);
+  return it == vehicles_.end() ? nullptr : it->second.get();
+}
+
+std::vector<VehicleId> World::vehicle_ids() const {
+  std::vector<VehicleId> out;
+  out.reserve(vehicles_.size());
+  for (const auto& [id, v] : vehicles_) out.push_back(id);
+  return out;
+}
+
+}  // namespace nwade::sim

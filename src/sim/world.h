@@ -1,0 +1,140 @@
+// The simulation world: wires the traffic substrate, network, intersection
+// manager, and vehicles into one deterministic discrete-event run. This is
+// the "3D intelligent intersection traffic simulator" substitute the
+// experiments run on (2-D kinematics; the evaluation never depends on
+// rendering).
+#pragma once
+
+#include <map>
+#include <memory>
+
+#include "crypto/signer.h"
+#include "net/network.h"
+#include "nwade/config.h"
+#include "nwade/im_node.h"
+#include "nwade/metrics.h"
+#include "nwade/sensor.h"
+#include "nwade/vehicle_node.h"
+#include "traffic/arrivals.h"
+
+namespace nwade::sim {
+
+/// Which signature scheme the IM uses. HMAC keeps protocol-logic runs fast;
+/// RSA matches the paper's crypto cost (Fig. 6 uses 2048).
+enum class SignerKind { kHmac = 0, kRsa1024, kRsa2048 };
+
+struct ScenarioConfig {
+  traffic::IntersectionConfig intersection;
+  double vehicles_per_minute{80};
+  Duration duration_ms{120'000};
+  Duration step_ms{100};
+  std::uint64_t seed{1};
+
+  protocol::NwadeConfig nwade;
+  aim::SchedulerConfig scheduler;
+  net::NetworkConfig network;
+  SignerKind signer{SignerKind::kHmac};
+
+  /// Table I attack setting ("benign" = no attack).
+  protocol::AttackSetting attack{"benign", 0, false, 0, 0};
+  /// When the attack behaviours trigger.
+  Tick attack_time{40'000};
+  /// Which lie false reporters tell (Table II type A vs B).
+  protocol::FalseReportKind false_report_kind{protocol::FalseReportKind::kIncident};
+  /// Malicious-IM behaviour for im_malicious settings.
+  protocol::ImAttackMode im_attack_mode{
+      protocol::ImAttackMode::kConflictingPlansAndSilence};
+
+  /// false = plain AIM without the NWADE security layer (Fig. 8's baseline):
+  /// vehicles skip block verification and the neighbourhood watch.
+  bool nwade_enabled{true};
+
+  /// Mixed-traffic extension (the paper's future work): fraction of arrivals
+  /// that are legacy vehicles — no V2X, no plan requests; they cross at a
+  /// constant cruise speed with simple car-following. The IM perceives them
+  /// and schedules managed traffic around virtual trajectory predictions.
+  double legacy_fraction{0.0};
+};
+
+/// Aggregated outcome of one run.
+struct RunSummary {
+  protocol::Metrics metrics;
+  net::NetworkStats net_stats;
+  double throughput_vpm{0};      ///< vehicles exited per simulated minute
+  double mean_crossing_ms{0};    ///< spawn-to-exit time of exited vehicles
+  int active_at_end{0};
+  int min_ground_truth_gap_violations{0};  ///< pairs observed closer than 1.5 m
+  int legacy_spawned{0};
+  int legacy_exited{0};
+};
+
+/// One deterministic simulation run.
+class World final : public protocol::SensorProvider {
+ public:
+  explicit World(ScenarioConfig config);
+  ~World() override;
+
+  World(const World&) = delete;
+  World& operator=(const World&) = delete;
+
+  /// Runs to completion and returns the summary.
+  RunSummary run();
+
+  /// Advances simulated time to `t` (stepwise driving for tests).
+  void run_until(Tick t);
+
+  RunSummary summary() const;
+
+  // --- SensorProvider -------------------------------------------------------
+  std::vector<protocol::Observation> sense_around(geom::Vec2 center, double radius,
+                                                  VehicleId exclude) const override;
+  std::optional<protocol::Observation> observe(VehicleId id) const override;
+
+  // --- introspection ----------------------------------------------------------
+  Tick now() const { return clock_.now(); }
+  const protocol::ImNode& im() const { return *im_; }
+  const protocol::Metrics& metrics() const { return metrics_; }
+  const net::Network& network() const { return *network_; }
+  const traffic::Intersection& intersection() const { return intersection_; }
+  protocol::VehicleNode* vehicle(VehicleId id);
+  std::vector<VehicleId> vehicle_ids() const;
+  /// Ids assigned attacker roles for this scenario.
+  const std::set<VehicleId>& malicious_ids() const { return malicious_ids_; }
+
+ private:
+  /// A legacy (non-communicating) vehicle: pure physics, no protocol.
+  struct LegacyVehicle {
+    int route_id{0};
+    traffic::VehicleTraits traits;
+    double s{0};
+    double v{0};
+    double cruise{0};
+    bool exited{false};
+  };
+
+  void assign_attack_roles(std::vector<traffic::Arrival>& arrivals);
+  void spawn(const traffic::Arrival& arrival, VehicleId id);
+  void spawn_legacy(const traffic::Arrival& arrival, VehicleId id);
+  void step_legacy(Duration dt_ms);
+  geom::Vec2 legacy_position(const LegacyVehicle& l) const;
+  void step_world(Tick now);
+
+  ScenarioConfig config_;
+  traffic::Intersection intersection_;
+  net::SimClock clock_;
+  net::EventQueue queue_;
+  std::unique_ptr<net::Network> network_;
+  std::unique_ptr<crypto::Signer> signer_;
+  protocol::Metrics metrics_;
+  std::set<VehicleId> malicious_ids_;
+  std::map<VehicleId, protocol::VehicleAttackProfile> attack_roles_;
+  std::unique_ptr<protocol::ImNode> im_;
+  std::map<VehicleId, std::unique_ptr<protocol::VehicleNode>> vehicles_;
+  std::map<VehicleId, LegacyVehicle> legacy_;
+  std::map<VehicleId, Tick> spawn_times_;
+  std::vector<Duration> crossing_times_;
+  int gap_violations_{0};
+  Tick stepped_until_{0};
+};
+
+}  // namespace nwade::sim

@@ -1,0 +1,48 @@
+#include "traffic/arrivals.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace nwade::traffic {
+
+ArrivalGenerator::ArrivalGenerator(const Intersection& intersection,
+                                   double vehicles_per_minute, Rng rng)
+    : intersection_(intersection),
+      rate_per_ms_(vehicles_per_minute / 60000.0),
+      rng_(rng) {
+  assert(vehicles_per_minute > 0);
+}
+
+std::vector<Arrival> ArrivalGenerator::generate(Duration duration_ms) {
+  // Cache per-leg route lists and weights.
+  const int legs = intersection_.leg_count();
+  std::vector<std::vector<int>> leg_routes(static_cast<std::size_t>(legs));
+  std::vector<std::vector<double>> leg_weights(static_cast<std::size_t>(legs));
+  for (int leg = 0; leg < legs; ++leg) {
+    leg_routes[static_cast<std::size_t>(leg)] = intersection_.routes_from_leg(leg);
+    leg_weights[static_cast<std::size_t>(leg)] = intersection_.turn_weights(leg);
+  }
+
+  std::vector<Arrival> arrivals;
+  const double limit = intersection_.config().limits.speed_limit_mps;
+  // Homogeneous Poisson process: exponential inter-arrival gaps.
+  double t = rng_.exponential(rate_per_ms_);
+  while (t < static_cast<double>(duration_ms)) {
+    const auto leg = static_cast<std::size_t>(rng_.uniform_int(0, legs - 1));
+    const std::size_t pick = rng_.weighted_index(leg_weights[leg]);
+    Arrival a;
+    a.time = static_cast<Tick>(t);
+    a.route_id = leg_routes[leg][pick];
+    a.traits.brand = static_cast<std::uint8_t>(rng_.uniform_int(0, 20));
+    a.traits.model = static_cast<std::uint8_t>(rng_.uniform_int(0, 40));
+    a.traits.color = static_cast<std::uint8_t>(rng_.uniform_int(0, 12));
+    a.traits.length_m = rng_.uniform(4.0, 5.2);
+    // Vehicles reach the communication zone near cruise speed.
+    a.initial_speed_mps = rng_.uniform(0.7 * limit, limit);
+    arrivals.push_back(a);
+    t += rng_.exponential(rate_per_ms_);
+  }
+  return arrivals;
+}
+
+}  // namespace nwade::traffic

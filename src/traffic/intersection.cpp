@@ -1,0 +1,456 @@
+#include "traffic/intersection.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace nwade::traffic {
+
+using geom::Path;
+using geom::Vec2;
+
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+double deg2rad(double deg) { return deg * kPi / 180.0; }
+
+/// Unit vector at `deg` degrees (0 = +x, CCW positive).
+Vec2 unit(double deg) { return Vec2::from_polar(1.0, deg2rad(deg)); }
+
+/// Clockwise perpendicular: the "right-hand side" of travel direction d.
+Vec2 right_of(Vec2 d) { return {d.y, -d.x}; }
+
+/// Normalizes an angle difference into (0, 360].
+double ccw_span(double from_deg, double to_deg) {
+  double span = std::fmod(to_deg - from_deg, 360.0);
+  if (span <= 0) span += 360.0;
+  return span;
+}
+
+/// Helper that accumulates route pieces and records the core span.
+/// Piece 0 is the approach leg; the last piece is the exit leg; everything in
+/// between is conflict-relevant "core".
+Route assemble_route(int id, int entry_leg, int exit_leg, Turn turn,
+                     const std::vector<Path>& pieces) {
+  assert(pieces.size() >= 3);
+  Route r;
+  r.id = id;
+  r.entry_leg = entry_leg;
+  r.exit_leg = exit_leg;
+  r.turn = turn;
+  Path full = pieces[0];
+  for (std::size_t i = 1; i < pieces.size(); ++i) full = full.joined(pieces[i]);
+  r.core_begin = pieces[0].length();
+  double core_len = 0;
+  for (std::size_t i = 1; i + 1 < pieces.size(); ++i) core_len += pieces[i].length();
+  r.core_end = r.core_begin + core_len;
+  r.path = std::move(full);
+  return r;
+}
+
+/// Common lane-placement parameters shared by the cross-style builders.
+struct LegFrame {
+  Vec2 u;       ///< unit vector from centre toward the leg
+  Vec2 d_in;    ///< inbound direction of travel (= -u)
+  Vec2 r_in;    ///< unit offset to the right of inbound travel
+};
+
+LegFrame leg_frame(double leg_deg) {
+  LegFrame f;
+  f.u = unit(leg_deg);
+  f.d_in = f.u * -1.0;
+  f.r_in = right_of(f.d_in);
+  return f;
+}
+
+/// Inbound lane centre at radius `r` from the junction centre.
+/// `lane` counts from the road centreline outward (0 = leftmost inbound).
+Vec2 inbound_point(const LegFrame& f, double r, double lane, double w) {
+  return f.u * r + f.r_in * (w * (0.5 + lane));
+}
+
+/// Outbound lane centre at radius `r` (lane 0 = innermost outbound).
+Vec2 outbound_point(const LegFrame& f, double r, double lane, double w) {
+  const Vec2 d_out = f.u;
+  return f.u * r + right_of(d_out) * (w * (0.5 + lane));
+}
+
+/// Lane index for a movement on a three-lane approach.
+double lane_for_turn(Turn t) {
+  switch (t) {
+    case Turn::kLeft: return 0;
+    case Turn::kStraight: return 1;
+    case Turn::kRight: return 2;
+  }
+  return 1;
+}
+
+// ---------------------------------------------------------------------------
+// 4-way cross (also the base shape for CFI lanes that are not displaced).
+// ---------------------------------------------------------------------------
+std::vector<Route> build_cross4(const IntersectionConfig& cfg) {
+  const double legs[] = {0, 90, 180, 270};
+  const double w = cfg.lane_width_m;
+  const double rc = 26.0;  // stop-line radius
+  std::vector<Route> routes;
+  int id = 0;
+  for (int k = 0; k < 4; ++k) {
+    const LegFrame in = leg_frame(legs[k]);
+    for (Turn turn : {Turn::kLeft, Turn::kStraight, Turn::kRight}) {
+      const int exit_leg =
+          (k + (turn == Turn::kRight ? 1 : turn == Turn::kStraight ? 2 : 3)) % 4;
+      const LegFrame out = leg_frame(legs[exit_leg]);
+      const double lane = lane_for_turn(turn);
+      const Vec2 stop = inbound_point(in, rc, lane, w);
+      const Vec2 spawn = stop + in.u * cfg.approach_length_m;
+      const Vec2 exit_pt = outbound_point(out, rc, 0, w);
+      const Vec2 exit_end = exit_pt + out.u * cfg.exit_length_m;
+      const double ctrl = rc * 0.8;
+      routes.push_back(assemble_route(
+          id++, k, exit_leg, turn,
+          {geom::make_line(spawn, stop),
+           geom::make_bezier(stop, stop + in.d_in * ctrl, exit_pt - out.u * ctrl,
+                             exit_pt),
+           geom::make_line(exit_pt, exit_end)}));
+    }
+  }
+  return routes;
+}
+
+// ---------------------------------------------------------------------------
+// 3-way roundabout: single-lane CCW ring; each leg reaches the other two.
+// ---------------------------------------------------------------------------
+std::vector<Route> build_roundabout3(const IntersectionConfig& cfg) {
+  const double legs[] = {0, 120, 240};
+  const double w = cfg.lane_width_m;
+  const double r_ring = 16.0;
+  const double rc = 30.0;  // yield-line radius
+  std::vector<Route> routes;
+  int id = 0;
+  for (int k = 0; k < 3; ++k) {
+    const LegFrame in = leg_frame(legs[k]);
+    for (int step : {1, 2}) {  // 1 = next leg CCW (right-ish), 2 = far leg (left-ish)
+      const int exit_leg = (k + step) % 3;
+      const Turn turn = (step == 1) ? Turn::kRight : Turn::kLeft;
+      const LegFrame out = leg_frame(legs[exit_leg]);
+
+      const Vec2 stop = inbound_point(in, rc, 0, w);
+      const Vec2 spawn = stop + in.u * cfg.approach_length_m;
+      const double a_on = legs[k] + 25.0;   // merge onto ring just CCW of the leg
+      const double a_off = legs[exit_leg] - 25.0;
+      const Vec2 ring_on = Vec2::from_polar(r_ring, deg2rad(a_on));
+      const Vec2 ring_off = Vec2::from_polar(r_ring, deg2rad(a_off));
+      // CCW ring tangent at angle a: (-sin a, cos a).
+      const Vec2 tan_on = Vec2{-std::sin(deg2rad(a_on)), std::cos(deg2rad(a_on))};
+      const Vec2 tan_off = Vec2{-std::sin(deg2rad(a_off)), std::cos(deg2rad(a_off))};
+
+      const Vec2 exit_pt = outbound_point(out, rc, 0, w);
+      const Vec2 exit_end = exit_pt + out.u * cfg.exit_length_m;
+
+      const double span = ccw_span(a_on, a_off);
+      const int arc_segments = std::max(6, static_cast<int>(span / 10.0));
+
+      routes.push_back(assemble_route(
+          id++, k, exit_leg, turn,
+          {geom::make_line(spawn, stop),
+           geom::make_bezier(stop, stop + in.d_in * 7.0, ring_on - tan_on * 7.0,
+                             ring_on),
+           geom::make_arc({0, 0}, r_ring, deg2rad(a_on), deg2rad(a_on + span),
+                          arc_segments),
+           geom::make_bezier(ring_off, ring_off + tan_off * 7.0,
+                             exit_pt - out.u * 7.0, exit_pt),
+           geom::make_line(exit_pt, exit_end)}));
+    }
+  }
+  return routes;
+}
+
+// ---------------------------------------------------------------------------
+// 5-way irregular: legs at uneven angles, every leg connects to every other.
+// ---------------------------------------------------------------------------
+std::vector<Route> build_irregular5(const IntersectionConfig& cfg) {
+  const double legs[] = {0, 70, 150, 230, 300};
+  const double w = cfg.lane_width_m;
+  const double rc = 30.0;
+  std::vector<Route> routes;
+  int id = 0;
+  for (int k = 0; k < 5; ++k) {
+    const LegFrame in = leg_frame(legs[k]);
+    // Classify each exit by its CCW offset: small = right, large = left.
+    for (int j = 0; j < 5; ++j) {
+      if (j == k) continue;
+      const double span = ccw_span(legs[k], legs[j]);
+      Turn turn;
+      if (span <= 120.0) {
+        turn = Turn::kRight;
+      } else if (span < 240.0) {
+        turn = Turn::kStraight;
+      } else {
+        turn = Turn::kLeft;
+      }
+      const LegFrame out = leg_frame(legs[j]);
+      const double lane = lane_for_turn(turn);
+      const Vec2 stop = inbound_point(in, rc, lane, w);
+      const Vec2 spawn = stop + in.u * cfg.approach_length_m;
+      const Vec2 exit_pt = outbound_point(out, rc, 0, w);
+      const Vec2 exit_end = exit_pt + out.u * cfg.exit_length_m;
+      const double ctrl = rc * 0.8;
+      routes.push_back(assemble_route(
+          id++, k, j, turn,
+          {geom::make_line(spawn, stop),
+           geom::make_bezier(stop, stop + in.d_in * ctrl, exit_pt - out.u * ctrl,
+                             exit_pt),
+           geom::make_line(exit_pt, exit_end)}));
+    }
+  }
+  return routes;
+}
+
+// ---------------------------------------------------------------------------
+// 4-way continuous flow intersection: left turns cross the opposing inbound
+// lanes ~55 m upstream and approach the junction on a displaced lane outside
+// them, so the core left-vs-opposing-through conflict disappears and is
+// replaced by a short upstream crossover conflict.
+// ---------------------------------------------------------------------------
+std::vector<Route> build_cfi4(const IntersectionConfig& cfg) {
+  const double legs[] = {0, 90, 180, 270};
+  const double w = cfg.lane_width_m;
+  const double rc = 26.0;
+  const double cross_far = rc + 55.0;   // crossover start radius
+  const double cross_near = rc + 25.0;  // crossover end radius
+  std::vector<Route> routes;
+  int id = 0;
+  for (int k = 0; k < 4; ++k) {
+    const LegFrame in = leg_frame(legs[k]);
+    for (Turn turn : {Turn::kLeft, Turn::kStraight, Turn::kRight}) {
+      const int exit_leg =
+          (k + (turn == Turn::kRight ? 1 : turn == Turn::kStraight ? 2 : 3)) % 4;
+      const LegFrame out = leg_frame(legs[exit_leg]);
+      const Vec2 exit_pt = outbound_point(out, rc, 0, w);
+      const Vec2 exit_end = exit_pt + out.u * cfg.exit_length_m;
+
+      if (turn == Turn::kLeft) {
+        // Displaced lane: one lane-width to the left of the opposing inbound
+        // lanes (which sit at offsets -0.5w .. -2.5w on this leg's frame).
+        const double displaced = -3.5;  // in units of (0.5 + lane), see below
+        const Vec2 a1 = inbound_point(in, cross_far, 0, w);
+        const Vec2 a2 = in.u * cross_near + in.r_in * (w * displaced);
+        const Vec2 stop = in.u * rc + in.r_in * (w * displaced);
+        const Vec2 spawn = a1 + in.u * cfg.approach_length_m;
+        routes.push_back(assemble_route(
+            id++, k, exit_leg, turn,
+            {geom::make_line(spawn, a1),
+             // Crossover: sweep across the opposing lanes.
+             geom::make_bezier(a1, a1 + in.d_in * 12.0, a2 - in.d_in * 12.0, a2),
+             geom::make_line(a2, stop),
+             // Left turn from the displaced position; tight control distance
+             // keeps the curve outside the opposing inbound lanes.
+             geom::make_bezier(stop, stop + in.d_in * 10.0, exit_pt - out.u * 10.0,
+                               exit_pt),
+             geom::make_line(exit_pt, exit_end)}));
+      } else {
+        // Straight/right: standard shape, but the core starts at the
+        // crossover radius so crossover conflicts are detected.
+        const double lane = lane_for_turn(turn);
+        const Vec2 a1 = inbound_point(in, cross_far, lane, w);
+        const Vec2 stop = inbound_point(in, rc, lane, w);
+        const Vec2 spawn = a1 + in.u * cfg.approach_length_m;
+        const double ctrl = rc * 0.8;
+        routes.push_back(assemble_route(
+            id++, k, exit_leg, turn,
+            {geom::make_line(spawn, a1), geom::make_line(a1, stop),
+             geom::make_bezier(stop, stop + in.d_in * ctrl, exit_pt - out.u * ctrl,
+                               exit_pt),
+             geom::make_line(exit_pt, exit_end)}));
+      }
+    }
+  }
+  return routes;
+}
+
+// ---------------------------------------------------------------------------
+// 4-way diverging diamond interchange. Legs 0 (east) and 2 (west) form the
+// arterial whose through movements swap to the left side between two
+// crossovers; legs 1 (north) and 3 (south) are ramp-style minors with only
+// left and right turns.
+// ---------------------------------------------------------------------------
+std::vector<Route> build_ddi4(const IntersectionConfig& cfg) {
+  const double legs[] = {0, 90, 180, 270};
+  const double w = cfg.lane_width_m;
+  const double rc = 26.0;
+  const double cross_far = rc + 55.0;
+  const double cross_near = rc + 25.0;
+  std::vector<Route> routes;
+  int id = 0;
+
+  for (int k : {0, 2}) {  // arterial legs
+    const LegFrame in = leg_frame(legs[k]);
+    for (Turn turn : {Turn::kLeft, Turn::kStraight, Turn::kRight}) {
+      const int exit_leg =
+          (k + (turn == Turn::kRight ? 1 : turn == Turn::kStraight ? 2 : 3)) % 4;
+      const LegFrame out = leg_frame(legs[exit_leg]);
+      const Vec2 exit_pt = outbound_point(out, rc, 0, w);
+      const Vec2 exit_end = exit_pt + out.u * cfg.exit_length_m;
+
+      if (turn == Turn::kRight) {
+        // Rights depart before the first crossover, from the right-hand lane.
+        const Vec2 a1 = inbound_point(in, cross_far + 10.0, 1, w);
+        const Vec2 spawn = a1 + in.u * cfg.approach_length_m;
+        routes.push_back(assemble_route(
+            id++, k, exit_leg, turn,
+            {geom::make_line(spawn, a1),
+             geom::make_bezier(a1, a1 + in.d_in * 25.0, exit_pt - out.u * 25.0,
+                               exit_pt),
+             geom::make_line(exit_pt, exit_end)}));
+        continue;
+      }
+
+      // Straight and left: cross to the displaced (left) side first.
+      const Vec2 a1 = inbound_point(in, cross_far, 0, w);
+      const Vec2 a2 = in.u * cross_near + in.r_in * (-0.5 * w);  // left side
+      const Vec2 spawn = a1 + in.u * cfg.approach_length_m;
+      const Path approach = geom::make_line(spawn, a1);
+      const Path cross_in =
+          geom::make_bezier(a1, a1 + in.d_in * 12.0, a2 - in.d_in * 12.0, a2);
+
+      if (turn == Turn::kLeft) {
+        // Left from the displaced side: no opposing-through conflict.
+        const Vec2 stop = in.u * rc + in.r_in * (-0.5 * w);
+        routes.push_back(assemble_route(
+            id++, k, exit_leg, turn,
+            {approach, cross_in, geom::make_line(a2, stop),
+             geom::make_bezier(stop, stop + in.d_in * 12.0, exit_pt - out.u * 12.0,
+                               exit_pt),
+             geom::make_line(exit_pt, exit_end)}));
+      } else {
+        // Through: displaced across the core, then swap back.
+        const LegFrame of = leg_frame(legs[exit_leg]);
+        // On the exit leg's frame, "displaced" is the left of the outbound
+        // direction = -right_of(out.u).
+        const Vec2 b2 = of.u * cross_near + right_of(of.u) * (-0.5 * w);
+        const Vec2 b1 = outbound_point(of, cross_far, 0, w);
+        routes.push_back(assemble_route(
+            id++, k, exit_leg, turn,
+            {approach, cross_in, geom::make_line(a2, b2),
+             geom::make_bezier(b2, b2 + of.u * 12.0, b1 - of.u * 12.0, b1),
+             geom::make_line(b1, b1 + of.u * (cfg.exit_length_m - 55.0))}));
+      }
+    }
+  }
+
+  for (int k : {1, 3}) {  // minor (ramp) legs: left + right only
+    const LegFrame in = leg_frame(legs[k]);
+    for (Turn turn : {Turn::kLeft, Turn::kRight}) {
+      const int exit_leg = (k + (turn == Turn::kRight ? 1 : 3)) % 4;
+      const LegFrame out = leg_frame(legs[exit_leg]);
+      const double lane = turn == Turn::kRight ? 1 : 0;
+      const Vec2 stop = inbound_point(in, rc, lane, w);
+      const Vec2 spawn = stop + in.u * cfg.approach_length_m;
+      const Vec2 exit_pt = outbound_point(out, rc, 0, w);
+      const Vec2 exit_end = exit_pt + out.u * cfg.exit_length_m;
+      const double ctrl = rc * 0.8;
+      routes.push_back(assemble_route(
+          id++, k, exit_leg, turn,
+          {geom::make_line(spawn, stop),
+           geom::make_bezier(stop, stop + in.d_in * ctrl, exit_pt - out.u * ctrl,
+                             exit_pt),
+           geom::make_line(exit_pt, exit_end)}));
+    }
+  }
+  return routes;
+}
+
+int count_legs(IntersectionKind kind) {
+  switch (kind) {
+    case IntersectionKind::kRoundabout3: return 3;
+    case IntersectionKind::kCross4:
+    case IntersectionKind::kCfi4:
+    case IntersectionKind::kDdi4: return 4;
+    case IntersectionKind::kIrregular5: return 5;
+  }
+  return 0;
+}
+
+}  // namespace
+
+Intersection Intersection::build(const IntersectionConfig& config) {
+  Intersection ix;
+  ix.config_ = config;
+  ix.leg_count_ = count_legs(config.kind);
+  switch (config.kind) {
+    case IntersectionKind::kRoundabout3: ix.routes_ = build_roundabout3(config); break;
+    case IntersectionKind::kCross4: ix.routes_ = build_cross4(config); break;
+    case IntersectionKind::kIrregular5: ix.routes_ = build_irregular5(config); break;
+    case IntersectionKind::kCfi4: ix.routes_ = build_cfi4(config); break;
+    case IntersectionKind::kDdi4: ix.routes_ = build_ddi4(config); break;
+  }
+  ix.finalize();
+  return ix;
+}
+
+void Intersection::finalize() {
+  zone_refs_.assign(routes_.size(), {});
+  // Pre-clip core sections once.
+  std::vector<Path> cores;
+  cores.reserve(routes_.size());
+  for (const Route& r : routes_) cores.push_back(r.path.subpath(r.core_begin, r.core_end));
+
+  for (std::size_t i = 0; i < routes_.size(); ++i) {
+    for (std::size_t j = i + 1; j < routes_.size(); ++j) {
+      const auto zones = geom::find_conflicts(cores[i], cores[j],
+                                              config_.conflict_clearance_m, 1.0);
+      for (const geom::ConflictZone& cz : zones) {
+        Zone z;
+        z.id = static_cast<int>(zones_.size());
+        z.route_a = static_cast<int>(i);
+        z.a_begin = routes_[i].core_begin + cz.a_begin;
+        z.a_end = routes_[i].core_begin + cz.a_end;
+        z.route_b = static_cast<int>(j);
+        z.b_begin = routes_[j].core_begin + cz.b_begin;
+        z.b_end = routes_[j].core_begin + cz.b_end;
+        zones_.push_back(z);
+        zone_refs_[i].push_back(ZoneRef{z.id, z.a_begin, z.a_end});
+        zone_refs_[j].push_back(ZoneRef{z.id, z.b_begin, z.b_end});
+      }
+    }
+  }
+}
+
+std::vector<int> Intersection::routes_from_leg(int leg) const {
+  std::vector<int> out;
+  for (const Route& r : routes_) {
+    if (r.entry_leg == leg) out.push_back(r.id);
+  }
+  return out;
+}
+
+std::vector<double> Intersection::turn_weights(int leg) const {
+  const std::vector<int> ids = routes_from_leg(leg);
+  // Paper split: 25% left, 50% straight, 25% right.
+  const auto share = [](Turn t) {
+    switch (t) {
+      case Turn::kLeft: return 0.25;
+      case Turn::kStraight: return 0.50;
+      case Turn::kRight: return 0.25;
+    }
+    return 0.0;
+  };
+  // Count routes per movement, split each movement's share among its routes,
+  // then renormalize over the movements this leg actually has.
+  int counts[3] = {0, 0, 0};
+  for (int id : ids) counts[static_cast<int>(routes_[id].turn)]++;
+  double total = 0;
+  for (int t = 0; t < 3; ++t) {
+    if (counts[t] > 0) total += share(static_cast<Turn>(t));
+  }
+  std::vector<double> weights;
+  weights.reserve(ids.size());
+  for (int id : ids) {
+    const Turn t = routes_[id].turn;
+    weights.push_back(share(t) / total / counts[static_cast<int>(t)]);
+  }
+  return weights;
+}
+
+}  // namespace nwade::traffic

@@ -1,0 +1,133 @@
+// Canonical byte serialization used for hashing and signing.
+//
+// Every structure that enters a hash, Merkle tree, or signature is serialized
+// through ByteWriter with fixed-width little-endian encodings, so two parties
+// always agree on the exact bytes being authenticated.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace nwade {
+
+using Bytes = std::vector<std::uint8_t>;
+
+/// Appends fixed-width little-endian primitives to a growing buffer.
+class ByteWriter {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+
+  void u32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+
+  void u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+
+  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+
+  /// Doubles are serialized via their IEEE-754 bit pattern; all parties run
+  /// the same arithmetic so patterns agree bit-for-bit.
+  void f64(double v) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    u64(bits);
+  }
+
+  /// Length-prefixed raw bytes.
+  void bytes(std::span<const std::uint8_t> data) {
+    u32(static_cast<std::uint32_t>(data.size()));
+    buf_.insert(buf_.end(), data.begin(), data.end());
+  }
+
+  /// Length-prefixed UTF-8 string.
+  void str(std::string_view s) {
+    u32(static_cast<std::uint32_t>(s.size()));
+    buf_.insert(buf_.end(), s.begin(), s.end());
+  }
+
+  const Bytes& data() const { return buf_; }
+  Bytes take() { return std::move(buf_); }
+
+ private:
+  Bytes buf_;
+};
+
+/// Reads back what ByteWriter wrote. Out-of-bounds reads set a sticky error
+/// flag and return zero values instead of invoking UB.
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  std::uint8_t u8() {
+    if (!ensure(1)) return 0;
+    return data_[pos_++];
+  }
+
+  std::uint32_t u32() {
+    if (!ensure(4)) return 0;
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(data_[pos_++]) << (8 * i);
+    return v;
+  }
+
+  std::uint64_t u64() {
+    if (!ensure(8)) return 0;
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(data_[pos_++]) << (8 * i);
+    return v;
+  }
+
+  std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+
+  double f64() {
+    const std::uint64_t bits = u64();
+    double v;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+
+  Bytes bytes() {
+    const std::uint32_t n = u32();
+    if (!ensure(n)) return {};
+    Bytes out(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+              data_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+    pos_ += n;
+    return out;
+  }
+
+  std::string str() {
+    const Bytes b = bytes();
+    return std::string(b.begin(), b.end());
+  }
+
+  bool ok() const { return ok_; }
+  bool at_end() const { return pos_ == data_.size(); }
+
+ private:
+  bool ensure(std::size_t n) {
+    if (pos_ + n > data_.size()) {
+      ok_ = false;
+      return false;
+    }
+    return ok_;
+  }
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_{0};
+  bool ok_{true};
+};
+
+/// Hex-encodes bytes (lowercase), for logs and test expectations.
+std::string to_hex(std::span<const std::uint8_t> data);
+
+/// Parses a hex string; returns empty on malformed input of odd length or
+/// non-hex characters.
+Bytes from_hex(std::string_view hex);
+
+}  // namespace nwade

@@ -1,0 +1,43 @@
+#include "util/log.h"
+
+#include <cstdio>
+
+namespace nwade {
+namespace {
+LogLevel g_level = LogLevel::kOff;
+const Tick* g_clock = nullptr;
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO ";
+    case LogLevel::kWarn: return "WARN ";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF  ";
+  }
+  return "?";
+}
+}  // namespace
+
+namespace log_config {
+void set_level(LogLevel level) { g_level = level; }
+LogLevel level() { return g_level; }
+void set_clock(const Tick* now) { g_clock = now; }
+}  // namespace log_config
+
+namespace detail {
+
+bool enabled(LogLevel level) { return level >= g_level && g_level != LogLevel::kOff; }
+
+void emit(LogLevel level, const std::string& msg) {
+  if (g_clock != nullptr) {
+    std::fprintf(stderr, "[%8lld ms] %s %s\n", static_cast<long long>(*g_clock),
+                 level_name(level), msg.c_str());
+  } else {
+    std::fprintf(stderr, "%s %s\n", level_name(level), msg.c_str());
+  }
+}
+
+}  // namespace detail
+}  // namespace nwade

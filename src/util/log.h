@@ -1,0 +1,47 @@
+// Lightweight leveled logging. Off by default so benchmarks stay quiet;
+// scenarios and examples turn it on for narration.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+#include "util/types.h"
+
+namespace nwade {
+
+enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+/// Global log configuration (process-wide; the simulator is single-threaded).
+namespace log_config {
+void set_level(LogLevel level);
+LogLevel level();
+/// Simulated-time source for log prefixes; nullptr shows no timestamp.
+void set_clock(const Tick* now);
+}  // namespace log_config
+
+namespace detail {
+void emit(LogLevel level, const std::string& msg);
+bool enabled(LogLevel level);
+}  // namespace detail
+
+/// Stream-style logger: LOG(kInfo) << "vehicle " << id << " evacuating";
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() {
+    if (detail::enabled(level_)) detail::emit(level_, out_.str());
+  }
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    if (detail::enabled(level_)) out_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream out_;
+};
+
+#define NWADE_LOG(level) ::nwade::LogLine(::nwade::LogLevel::level)
+
+}  // namespace nwade

@@ -1,0 +1,79 @@
+// Minimal Result<T, E> for error handling without exceptions on hot paths.
+//
+// C++20 has no std::expected; this is the narrow subset NWADE needs: construct
+// from a value or an error, query, and unwrap. Unwrapping a Result in the
+// wrong state aborts — these are programming errors, not runtime conditions.
+#pragma once
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace nwade {
+
+/// Result of an operation that can fail with a typed error.
+template <typename T, typename E = std::string>
+class Result {
+ public:
+  // Intentionally implicit so `return value;` and `return error;` both work.
+  Result(T value) : data_(std::in_place_index<0>, std::move(value)) {}
+  Result(E error) : data_(std::in_place_index<1>, std::move(error)) {}
+
+  static Result ok(T value) { return Result(std::move(value)); }
+  static Result err(E error) { return Result(std::move(error)); }
+
+  bool has_value() const { return data_.index() == 0; }
+  explicit operator bool() const { return has_value(); }
+
+  const T& value() const& {
+    assert(has_value());
+    return std::get<0>(data_);
+  }
+  T& value() & {
+    assert(has_value());
+    return std::get<0>(data_);
+  }
+  T&& value() && {
+    assert(has_value());
+    return std::get<0>(std::move(data_));
+  }
+
+  const E& error() const& {
+    assert(!has_value());
+    return std::get<1>(data_);
+  }
+
+  /// Returns the contained value or `fallback` when this holds an error.
+  T value_or(T fallback) const& { return has_value() ? value() : std::move(fallback); }
+
+ private:
+  std::variant<T, E> data_;
+};
+
+/// Result specialization for operations that return nothing on success.
+template <typename E>
+class Result<void, E> {
+ public:
+  Result() = default;
+  Result(E error) : error_(std::move(error)), ok_(false) {}
+
+  static Result ok() { return Result(); }
+  static Result err(E error) { return Result(std::move(error)); }
+
+  bool has_value() const { return ok_; }
+  explicit operator bool() const { return ok_; }
+
+  const E& error() const {
+    assert(!ok_);
+    return error_;
+  }
+
+ private:
+  E error_{};
+  bool ok_{true};
+};
+
+using Status = Result<void, std::string>;
+
+}  // namespace nwade

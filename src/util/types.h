@@ -1,0 +1,76 @@
+// Core identifier and unit types shared by every NWADE module.
+//
+// All simulated time is integer milliseconds (`Tick`) so that runs are
+// bit-for-bit deterministic across platforms. Distances are metres, speeds
+// m/s; the paper quotes imperial values which we convert at the config layer.
+#pragma once
+
+#include <cstdint>
+#include <compare>
+#include <functional>
+#include <limits>
+
+namespace nwade {
+
+/// Simulated time in milliseconds since the start of the run.
+using Tick = std::int64_t;
+
+/// Duration in simulated milliseconds.
+using Duration = std::int64_t;
+
+inline constexpr Tick kTickMax = std::numeric_limits<Tick>::max();
+
+/// Converts seconds to ticks, rounding to the nearest millisecond.
+constexpr Tick seconds_to_ticks(double s) {
+  return static_cast<Tick>(s * 1000.0 + (s >= 0 ? 0.5 : -0.5));
+}
+
+/// Converts ticks to fractional seconds.
+constexpr double ticks_to_seconds(Tick t) { return static_cast<double>(t) / 1000.0; }
+
+/// Strongly-typed integral identifier. `Tag` disambiguates id spaces so a
+/// VehicleId cannot be passed where a BlockSeq is expected.
+template <typename Tag>
+struct Id {
+  std::uint64_t value{0};
+
+  constexpr Id() = default;
+  constexpr explicit Id(std::uint64_t v) : value(v) {}
+
+  constexpr auto operator<=>(const Id&) const = default;
+  constexpr bool valid() const { return value != 0; }
+};
+
+struct VehicleTag {};
+struct NodeTag {};
+
+/// Identity of a vehicle (1-based; 0 is "invalid").
+using VehicleId = Id<VehicleTag>;
+
+/// Identity of a network endpoint (vehicles and the intersection manager).
+using NodeId = Id<NodeTag>;
+
+/// The intersection manager always owns node id 1; vehicles get 2, 3, ...
+inline constexpr NodeId kImNodeId{1};
+
+/// Maps a vehicle id to its network node id and back.
+constexpr NodeId vehicle_node(VehicleId v) { return NodeId{v.value + 1}; }
+constexpr VehicleId node_vehicle(NodeId n) {
+  return n.value > 1 ? VehicleId{n.value - 1} : VehicleId{};
+}
+
+// --- Unit conversions used when ingesting the paper's settings. -------------
+
+constexpr double mph_to_mps(double mph) { return mph * 0.44704; }
+constexpr double feet_to_meters(double ft) { return ft * 0.3048; }
+
+}  // namespace nwade
+
+namespace std {
+template <typename Tag>
+struct hash<nwade::Id<Tag>> {
+  size_t operator()(const nwade::Id<Tag>& id) const noexcept {
+    return std::hash<std::uint64_t>{}(id.value);
+  }
+};
+}  // namespace std

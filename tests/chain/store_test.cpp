@@ -1,0 +1,139 @@
+// BlockStore: chain linkage validation and the tau/delta depth bound.
+#include "chain/store.h"
+
+#include <gtest/gtest.h>
+
+namespace nwade::chain {
+namespace {
+
+class StoreTest : public ::testing::Test {
+ protected:
+  StoreTest() : signer_(Bytes{'i', 'm'}) {}
+
+  Block next_block(int n_plans = 2) {
+    std::vector<aim::TravelPlan> plans;
+    for (int i = 0; i < n_plans; ++i) {
+      aim::TravelPlan p;
+      p.vehicle = VehicleId{seq_ * 10 + static_cast<std::uint64_t>(i) + 1};
+      p.segments = {aim::PlanSegment{static_cast<Tick>(seq_) * 1000, 0, 10}};
+      plans.push_back(p);
+    }
+    Block b = Block::package(seq_, prev_, static_cast<Tick>(seq_) * 1000,
+                             std::move(plans), signer_);
+    prev_ = b.hash();
+    ++seq_;
+    return b;
+  }
+
+  crypto::HmacSigner signer_;
+  crypto::Digest prev_{};
+  BlockSeq seq_{0};
+};
+
+TEST_F(StoreTest, AppendsValidChain) {
+  BlockStore store;
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_TRUE(store.append(next_block(), *signer_.verifier()));
+  }
+  EXPECT_EQ(store.size(), 5u);
+  EXPECT_EQ(store.latest()->seq, 4u);
+  EXPECT_NE(store.by_seq(2), nullptr);
+  EXPECT_EQ(store.by_seq(99), nullptr);
+}
+
+TEST_F(StoreTest, RejectsBadSignature) {
+  BlockStore store;
+  Block b = next_block();
+  b.timestamp += 5;  // invalidates signature
+  const auto result = store.append(b, *signer_.verifier());
+  ASSERT_FALSE(result);
+  EXPECT_EQ(result.error(), ChainError::kBadSignature);
+  EXPECT_TRUE(store.empty());
+}
+
+TEST_F(StoreTest, RejectsTamperedPlans) {
+  BlockStore store;
+  Block b = next_block();
+  b.plans[0].segments[0].v_mps = 60;
+  const auto result = store.append(b, *signer_.verifier());
+  ASSERT_FALSE(result);
+  EXPECT_EQ(result.error(), ChainError::kBadMerkleRoot);
+}
+
+TEST_F(StoreTest, RejectsBrokenLinkage) {
+  BlockStore store;
+  ASSERT_TRUE(store.append(next_block(), *signer_.verifier()));
+  // Forge the next block with the right seq but wrong prev hash.
+  prev_ = crypto::sha256("not the real prev");
+  const Block forged = next_block();
+  const auto result = store.append(forged, *signer_.verifier());
+  ASSERT_FALSE(result);
+  EXPECT_EQ(result.error(), ChainError::kBrokenLinkage);
+  EXPECT_EQ(store.size(), 1u);
+}
+
+TEST_F(StoreTest, RejectsSeqGapAndReplay) {
+  BlockStore store;
+  const Block b0 = next_block();
+  const Block b1 = next_block();
+  const Block b2 = next_block();
+  ASSERT_TRUE(store.append(b0, *signer_.verifier()));
+  // Gap: b2 after b0.
+  auto result = store.append(b2, *signer_.verifier());
+  ASSERT_FALSE(result);
+  EXPECT_EQ(result.error(), ChainError::kNonMonotonicSeq);
+  // Replay of b0.
+  result = store.append(b0, *signer_.verifier());
+  ASSERT_FALSE(result);
+  EXPECT_EQ(result.error(), ChainError::kNonMonotonicSeq);
+  // Correct continuation still works.
+  EXPECT_TRUE(store.append(b1, *signer_.verifier()));
+}
+
+TEST_F(StoreTest, EvictsBeyondMaxDepth) {
+  BlockStore store(3);
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(store.append(next_block(), *signer_.verifier()));
+  }
+  EXPECT_EQ(store.size(), 3u);
+  EXPECT_EQ(store.blocks().front().seq, 7u);
+  EXPECT_EQ(store.latest()->seq, 9u);
+  // Evicted blocks are gone; linkage continues to be enforced at the tail.
+  EXPECT_EQ(store.by_seq(0), nullptr);
+}
+
+TEST_F(StoreTest, FindPlanReturnsNewest) {
+  BlockStore store;
+  // Vehicle 42 gets a plan in block 0 and a superseding plan in block 2.
+  auto make_with_vehicle = [&](double speed) {
+    aim::TravelPlan p;
+    p.vehicle = VehicleId{42};
+    p.segments = {aim::PlanSegment{0, 0, speed}};
+    Block b = Block::package(seq_, prev_, static_cast<Tick>(seq_) * 1000, {p}, signer_);
+    prev_ = b.hash();
+    ++seq_;
+    return b;
+  };
+  ASSERT_TRUE(store.append(make_with_vehicle(10.0), *signer_.verifier()));
+  ASSERT_TRUE(store.append(next_block(), *signer_.verifier()));
+  ASSERT_TRUE(store.append(make_with_vehicle(5.0), *signer_.verifier()));
+  const aim::TravelPlan* p = store.find_plan(VehicleId{42});
+  ASSERT_NE(p, nullptr);
+  EXPECT_DOUBLE_EQ(p->segments[0].v_mps, 5.0);
+  EXPECT_EQ(store.find_plan(VehicleId{777}), nullptr);
+}
+
+TEST_F(StoreTest, FailedAppendLeavesStoreUntouched) {
+  BlockStore store;
+  ASSERT_TRUE(store.append(next_block(), *signer_.verifier()));
+  const std::size_t size = store.size();
+  const auto* latest = store.latest();
+  Block bad = next_block();
+  bad.merkle_root[0] ^= 1;
+  EXPECT_FALSE(store.append(bad, *signer_.verifier()));
+  EXPECT_EQ(store.size(), size);
+  EXPECT_EQ(store.latest(), latest);
+}
+
+}  // namespace
+}  // namespace nwade::chain

@@ -1,0 +1,105 @@
+// Merkle tree: roots, proofs, domain separation, and tamper detection.
+#include "crypto/merkle.h"
+
+#include <gtest/gtest.h>
+
+namespace nwade::crypto {
+namespace {
+
+Bytes leaf(std::string_view s) {
+  return Bytes(reinterpret_cast<const std::uint8_t*>(s.data()),
+               reinterpret_cast<const std::uint8_t*>(s.data()) + s.size());
+}
+
+std::vector<Bytes> make_leaves(std::size_t n) {
+  std::vector<Bytes> out;
+  for (std::size_t i = 0; i < n; ++i) out.push_back(leaf("plan-" + std::to_string(i)));
+  return out;
+}
+
+TEST(Merkle, SingleLeafRootIsLeafHash) {
+  const auto leaves = make_leaves(1);
+  MerkleTree t(leaves);
+  EXPECT_EQ(t.root(), MerkleTree::hash_leaf(leaves[0]));
+}
+
+TEST(Merkle, EmptyTreeHasStableRoot) {
+  MerkleTree a({}), b({});
+  EXPECT_EQ(a.root(), b.root());
+  EXPECT_EQ(a.leaf_count(), 0u);
+}
+
+TEST(Merkle, RootChangesWithAnyLeaf) {
+  auto leaves = make_leaves(8);
+  const Digest original = MerkleTree(leaves).root();
+  for (std::size_t i = 0; i < leaves.size(); ++i) {
+    auto mutated = leaves;
+    mutated[i].push_back(0xff);
+    EXPECT_NE(MerkleTree(mutated).root(), original) << "leaf " << i;
+  }
+}
+
+TEST(Merkle, RootDependsOnOrder) {
+  auto leaves = make_leaves(4);
+  const Digest original = MerkleTree(leaves).root();
+  std::swap(leaves[0], leaves[3]);
+  EXPECT_NE(MerkleTree(leaves).root(), original);
+}
+
+class MerkleProofTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(MerkleProofTest, AllProofsVerify) {
+  const std::size_t n = GetParam();
+  const auto leaves = make_leaves(n);
+  MerkleTree t(leaves);
+  for (std::size_t i = 0; i < n; ++i) {
+    const MerkleProof proof = t.prove(i);
+    EXPECT_TRUE(MerkleTree::verify(leaves[i], proof, t.root())) << "leaf " << i;
+  }
+}
+
+TEST_P(MerkleProofTest, ProofForWrongLeafFails) {
+  const std::size_t n = GetParam();
+  if (n < 2) return;
+  const auto leaves = make_leaves(n);
+  MerkleTree t(leaves);
+  const MerkleProof proof = t.prove(0);
+  EXPECT_FALSE(MerkleTree::verify(leaves[1], proof, t.root()));
+}
+
+TEST_P(MerkleProofTest, TamperedProofFails) {
+  const std::size_t n = GetParam();
+  const auto leaves = make_leaves(n);
+  MerkleTree t(leaves);
+  MerkleProof proof = t.prove(n / 2);
+  if (proof.empty()) return;
+  proof[0].sibling[0] ^= 0x01;
+  EXPECT_FALSE(MerkleTree::verify(leaves[n / 2], proof, t.root()));
+}
+
+// Covers power-of-two, odd, and prime leaf counts (odd-node duplication path).
+INSTANTIATE_TEST_SUITE_P(LeafCounts, MerkleProofTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 7, 8, 13, 16, 33, 100));
+
+TEST(Merkle, LeafCannotPoseAsInterior) {
+  // Domain separation: an interior node's bytes used as a leaf must not
+  // produce the same digest path.
+  const auto leaves = make_leaves(2);
+  MerkleTree t(leaves);
+  // interior = H(0x01 || h0 || h1); a "leaf" with those 64 bytes hashes with
+  // a 0x00 prefix and cannot equal the root.
+  Bytes fake;
+  const Digest h0 = MerkleTree::hash_leaf(leaves[0]);
+  const Digest h1 = MerkleTree::hash_leaf(leaves[1]);
+  fake.insert(fake.end(), h0.begin(), h0.end());
+  fake.insert(fake.end(), h1.begin(), h1.end());
+  EXPECT_NE(MerkleTree::hash_leaf(fake), t.root());
+}
+
+TEST(Merkle, DeterministicRoot) {
+  const auto leaves = make_leaves(10);
+  EXPECT_EQ(MerkleTree(leaves).root(), MerkleTree(leaves).root());
+}
+
+}  // namespace
+}  // namespace nwade::crypto

@@ -1,0 +1,120 @@
+// RSA keygen / sign / verify, including tamper-detection and CRT consistency.
+#include "crypto/rsa.h"
+
+#include <gtest/gtest.h>
+
+namespace nwade::crypto {
+namespace {
+
+Bytes msg_bytes(std::string_view s) {
+  return Bytes(reinterpret_cast<const std::uint8_t*>(s.data()),
+               reinterpret_cast<const std::uint8_t*>(s.data()) + s.size());
+}
+
+class RsaTest : public ::testing::Test {
+ protected:
+  // 512-bit keys keep unit tests fast; the blockchain benchmark exercises 2048.
+  static void SetUpTestSuite() {
+    Rng rng(2022);
+    key_ = new RsaKeyPair(rsa_generate(rng, 512));
+  }
+  static void TearDownTestSuite() {
+    delete key_;
+    key_ = nullptr;
+  }
+  static const RsaKeyPair& key() { return *key_; }
+
+ private:
+  static RsaKeyPair* key_;
+};
+
+RsaKeyPair* RsaTest::key_ = nullptr;
+
+TEST_F(RsaTest, KeyStructure) {
+  EXPECT_EQ(key().pub.n.bit_length(), 512);
+  EXPECT_EQ(key().pub.e, BigUint(65537));
+  EXPECT_EQ(key().priv.p * key().priv.q, key().pub.n);
+  EXPECT_TRUE(key().priv.p > key().priv.q);
+  // e*d = 1 mod phi
+  const BigUint phi = (key().priv.p - BigUint(1)) * (key().priv.q - BigUint(1));
+  EXPECT_EQ((key().pub.e * key().priv.d) % phi, BigUint(1));
+}
+
+TEST_F(RsaTest, SignVerifyRoundTrip) {
+  const Bytes m = msg_bytes("travel plan block 42");
+  const Bytes sig = rsa_sign(key().priv, m);
+  EXPECT_EQ(sig.size(), key().pub.modulus_bytes());
+  EXPECT_TRUE(rsa_verify(key().pub, m, sig));
+}
+
+TEST_F(RsaTest, TamperedMessageRejected) {
+  const Bytes m = msg_bytes("original");
+  const Bytes sig = rsa_sign(key().priv, m);
+  EXPECT_FALSE(rsa_verify(key().pub, msg_bytes("0riginal"), sig));
+}
+
+TEST_F(RsaTest, TamperedSignatureRejected) {
+  const Bytes m = msg_bytes("message");
+  Bytes sig = rsa_sign(key().priv, m);
+  sig[sig.size() / 2] ^= 0x01;
+  EXPECT_FALSE(rsa_verify(key().pub, m, sig));
+}
+
+TEST_F(RsaTest, WrongLengthSignatureRejected) {
+  const Bytes m = msg_bytes("message");
+  Bytes sig = rsa_sign(key().priv, m);
+  sig.push_back(0);
+  EXPECT_FALSE(rsa_verify(key().pub, m, sig));
+  sig.resize(sig.size() - 2);
+  EXPECT_FALSE(rsa_verify(key().pub, m, sig));
+}
+
+TEST_F(RsaTest, SignatureLargerThanModulusRejected) {
+  const Bytes m = msg_bytes("message");
+  const Bytes sig = key().pub.n.to_bytes(key().pub.modulus_bytes());  // sig == n
+  EXPECT_FALSE(rsa_verify(key().pub, m, sig));
+}
+
+TEST_F(RsaTest, CrtMatchesPlainExponentiation) {
+  const Bytes m = msg_bytes("crt cross-check");
+  const Bytes sig = rsa_sign(key().priv, m);
+  // Recompute without CRT: s = em^d mod n, compare.
+  const BigUint s = BigUint::from_bytes(sig);
+  const BigUint em = s.mod_pow(key().pub.e, key().pub.n);
+  // em must re-verify: this indirectly proves CRT produced em^d correctly.
+  EXPECT_TRUE(rsa_verify(key().pub, m, sig));
+  EXPECT_EQ(s.mod_pow(key().pub.e, key().pub.n), em);
+}
+
+TEST_F(RsaTest, DifferentMessagesDifferentSignatures) {
+  const Bytes s1 = rsa_sign(key().priv, msg_bytes("a"));
+  const Bytes s2 = rsa_sign(key().priv, msg_bytes("b"));
+  EXPECT_NE(s1, s2);
+  // Deterministic: same message, same signature.
+  EXPECT_EQ(rsa_sign(key().priv, msg_bytes("a")), s1);
+}
+
+TEST(RsaKeygen, DeterministicFromSeed) {
+  Rng r1(500), r2(500);
+  const RsaKeyPair k1 = rsa_generate(r1, 256);
+  const RsaKeyPair k2 = rsa_generate(r2, 256);
+  EXPECT_EQ(k1.pub.n, k2.pub.n);
+  EXPECT_EQ(k1.priv.d, k2.priv.d);
+}
+
+TEST(RsaKeygen, DistinctSeedsDistinctKeys) {
+  Rng r1(501), r2(502);
+  EXPECT_NE(rsa_generate(r1, 256).pub.n, rsa_generate(r2, 256).pub.n);
+}
+
+TEST(RsaKeygen, CrossKeyVerificationFails) {
+  Rng r1(601), r2(602);
+  const RsaKeyPair k1 = rsa_generate(r1, 512);
+  const RsaKeyPair k2 = rsa_generate(r2, 512);
+  const Bytes m = msg_bytes("signed under k1");
+  const Bytes sig = rsa_sign(k1.priv, m);
+  EXPECT_FALSE(rsa_verify(k2.pub, m, sig));
+}
+
+}  // namespace
+}  // namespace nwade::crypto

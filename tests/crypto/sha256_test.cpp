@@ -1,0 +1,89 @@
+// SHA-256 and HMAC-SHA256 against FIPS/RFC known-answer vectors.
+#include "crypto/sha256.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace nwade::crypto {
+namespace {
+
+TEST(Sha256, EmptyString) {
+  EXPECT_EQ(digest_hex(sha256(std::string_view{})),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256, Abc) {
+  EXPECT_EQ(digest_hex(sha256("abc")),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, TwoBlockMessage) {
+  EXPECT_EQ(digest_hex(sha256("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, MillionAs) {
+  Sha256 h;
+  const std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) h.update(chunk);
+  EXPECT_EQ(digest_hex(h.finish()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, IncrementalMatchesOneShot) {
+  const std::string msg = "the quick brown fox jumps over the lazy dog, repeatedly";
+  for (std::size_t split = 0; split <= msg.size(); ++split) {
+    Sha256 h;
+    h.update(std::string_view(msg).substr(0, split));
+    h.update(std::string_view(msg).substr(split));
+    EXPECT_EQ(h.finish(), sha256(msg)) << "split at " << split;
+  }
+}
+
+TEST(Sha256, ExactBlockBoundaries) {
+  // Messages of length 55/56/63/64/65 hit distinct padding paths.
+  for (std::size_t len : {55u, 56u, 63u, 64u, 65u, 119u, 120u, 128u}) {
+    const std::string msg(len, 'x');
+    Sha256 a;
+    a.update(msg);
+    Sha256 b;
+    for (char c : msg) b.update(std::string_view(&c, 1));
+    EXPECT_EQ(a.finish(), b.finish()) << "len " << len;
+  }
+}
+
+TEST(HmacSha256, Rfc4231Case1) {
+  const Bytes key(20, 0x0b);
+  const std::string msg = "Hi There";
+  const Digest mac = hmac_sha256(
+      key, std::span<const std::uint8_t>(
+               reinterpret_cast<const std::uint8_t*>(msg.data()), msg.size()));
+  EXPECT_EQ(digest_hex(mac),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+TEST(HmacSha256, Rfc4231Case2) {
+  const std::string key = "Jefe";
+  const std::string msg = "what do ya want for nothing?";
+  const Digest mac = hmac_sha256(
+      std::span<const std::uint8_t>(reinterpret_cast<const std::uint8_t*>(key.data()),
+                                    key.size()),
+      std::span<const std::uint8_t>(reinterpret_cast<const std::uint8_t*>(msg.data()),
+                                    msg.size()));
+  EXPECT_EQ(digest_hex(mac),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+TEST(HmacSha256, LongKeyIsHashedFirst) {
+  const Bytes key(131, 0xaa);  // > block size, RFC 4231 case 6 key shape
+  const std::string msg = "Test Using Larger Than Block-Size Key - Hash Key First";
+  const Digest mac = hmac_sha256(
+      key, std::span<const std::uint8_t>(
+               reinterpret_cast<const std::uint8_t*>(msg.data()), msg.size()));
+  EXPECT_EQ(digest_hex(mac),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+}  // namespace
+}  // namespace nwade::crypto

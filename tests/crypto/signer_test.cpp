@@ -1,0 +1,70 @@
+// Signer interface: RSA and HMAC implementations behave identically at the
+// protocol level (sign -> verifier accepts; any tamper -> rejects).
+#include "crypto/signer.h"
+
+#include <gtest/gtest.h>
+
+namespace nwade::crypto {
+namespace {
+
+Bytes msg_bytes(std::string_view s) {
+  return Bytes(reinterpret_cast<const std::uint8_t*>(s.data()),
+               reinterpret_cast<const std::uint8_t*>(s.data()) + s.size());
+}
+
+std::unique_ptr<Signer> make_signer(const std::string& kind) {
+  if (kind == "rsa") {
+    Rng rng(31337);
+    return RsaSigner::generate(rng, 512);
+  }
+  return std::make_unique<HmacSigner>(msg_bytes("shared-test-key"));
+}
+
+class SignerContractTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(SignerContractTest, RoundTrip) {
+  const auto signer = make_signer(GetParam());
+  const Bytes m = msg_bytes("block payload");
+  const Bytes sig = signer->sign(m);
+  EXPECT_TRUE(signer->verifier()->verify(m, sig));
+}
+
+TEST_P(SignerContractTest, RejectsTamperedMessage) {
+  const auto signer = make_signer(GetParam());
+  const Bytes sig = signer->sign(msg_bytes("payload"));
+  EXPECT_FALSE(signer->verifier()->verify(msg_bytes("Payload"), sig));
+}
+
+TEST_P(SignerContractTest, RejectsTamperedSignature) {
+  const auto signer = make_signer(GetParam());
+  const Bytes m = msg_bytes("payload");
+  Bytes sig = signer->sign(m);
+  sig[0] ^= 0x80;
+  EXPECT_FALSE(signer->verifier()->verify(m, sig));
+}
+
+TEST_P(SignerContractTest, RejectsEmptySignature) {
+  const auto signer = make_signer(GetParam());
+  EXPECT_FALSE(signer->verifier()->verify(msg_bytes("payload"), Bytes{}));
+}
+
+TEST_P(SignerContractTest, VerifierIsShareable) {
+  const auto signer = make_signer(GetParam());
+  const auto v1 = signer->verifier();
+  const auto v2 = signer->verifier();
+  const Bytes m = msg_bytes("shared");
+  const Bytes sig = signer->sign(m);
+  EXPECT_TRUE(v1->verify(m, sig));
+  EXPECT_TRUE(v2->verify(m, sig));
+}
+
+INSTANTIATE_TEST_SUITE_P(Kinds, SignerContractTest, ::testing::Values("rsa", "hmac"));
+
+TEST(HmacSigner, DifferentKeysDoNotCrossVerify) {
+  HmacSigner a(msg_bytes("key-a")), b(msg_bytes("key-b"));
+  const Bytes m = msg_bytes("msg");
+  EXPECT_FALSE(b.verifier()->verify(m, a.sign(m)));
+}
+
+}  // namespace
+}  // namespace nwade::crypto

@@ -1,0 +1,146 @@
+// Path: arc-length parameterization, projection, conflicts, Vec2 math.
+#include "geom/path.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace nwade::geom {
+namespace {
+
+constexpr double kTol = 1e-6;
+
+TEST(Vec2, Basics) {
+  const Vec2 a{3, 4};
+  EXPECT_DOUBLE_EQ(a.norm(), 5.0);
+  EXPECT_DOUBLE_EQ(a.dot({1, 0}), 3.0);
+  EXPECT_DOUBLE_EQ(a.cross({1, 0}), -4.0);
+  EXPECT_NEAR(a.normalized().norm(), 1.0, kTol);
+  EXPECT_EQ(Vec2{}.normalized(), Vec2{});
+  const Vec2 r = Vec2{1, 0}.rotated(M_PI / 2);
+  EXPECT_NEAR(r.x, 0.0, kTol);
+  EXPECT_NEAR(r.y, 1.0, kTol);
+  EXPECT_EQ((Vec2{1, 0}.perp()), (Vec2{0, 1}));
+}
+
+TEST(Path, StraightLineLengthAndSampling) {
+  const Path p = make_line({0, 0}, {10, 0});
+  EXPECT_DOUBLE_EQ(p.length(), 10.0);
+  EXPECT_EQ(p.point_at(0), (Vec2{0, 0}));
+  EXPECT_EQ(p.point_at(10), (Vec2{10, 0}));
+  EXPECT_EQ(p.point_at(5), (Vec2{5, 0}));
+  // Clamping.
+  EXPECT_EQ(p.point_at(-1), (Vec2{0, 0}));
+  EXPECT_EQ(p.point_at(99), (Vec2{10, 0}));
+  EXPECT_EQ(p.tangent_at(5), (Vec2{1, 0}));
+}
+
+TEST(Path, DegenerateInputs) {
+  EXPECT_TRUE(Path(std::vector<Vec2>{}).empty());
+  EXPECT_TRUE(Path({{1, 1}}).empty());
+  EXPECT_TRUE(Path({{1, 1}, {1, 1}}).empty());  // duplicates collapse
+  EXPECT_DOUBLE_EQ(Path(std::vector<Vec2>{}).length(), 0.0);
+}
+
+TEST(Path, PolylineArcLength) {
+  const Path p({{0, 0}, {3, 0}, {3, 4}});
+  EXPECT_DOUBLE_EQ(p.length(), 7.0);
+  EXPECT_EQ(p.point_at(3), (Vec2{3, 0}));
+  const Vec2 mid = p.point_at(5);
+  EXPECT_NEAR(mid.x, 3.0, kTol);
+  EXPECT_NEAR(mid.y, 2.0, kTol);
+}
+
+TEST(Path, ArcHasCorrectLength) {
+  // Quarter circle radius 10: length = 5*pi.
+  const Path arc = make_arc({0, 0}, 10, 0, M_PI / 2, 64);
+  EXPECT_NEAR(arc.length(), 10 * M_PI / 2, 0.02);
+  EXPECT_NEAR(arc.point_at(0).x, 10.0, kTol);
+  EXPECT_NEAR(arc.point_at(arc.length()).y, 10.0, kTol);
+}
+
+TEST(Path, BezierEndpointsAndMonotoneProgress) {
+  const Path b = make_bezier({0, 0}, {5, 0}, {10, 5}, {10, 10}, 32);
+  EXPECT_EQ(b.points().front(), (Vec2{0, 0}));
+  EXPECT_EQ(b.points().back(), (Vec2{10, 10}));
+  // Arc length exceeds straight-line distance.
+  EXPECT_GT(b.length(), (Vec2{10, 10} - Vec2{0, 0}).norm() - kTol);
+}
+
+TEST(Path, ProjectFindsClosestPoint) {
+  const Path p = make_line({0, 0}, {10, 0});
+  const auto [d1, s1] = p.project({5, 3});
+  EXPECT_NEAR(d1, 3.0, kTol);
+  EXPECT_NEAR(s1, 5.0, kTol);
+  // Beyond the end projects to the endpoint.
+  const auto [d2, s2] = p.project({12, 0});
+  EXPECT_NEAR(d2, 2.0, kTol);
+  EXPECT_NEAR(s2, 10.0, kTol);
+}
+
+TEST(Path, JoinedConcatenatesLengths) {
+  const Path a = make_line({0, 0}, {10, 0});
+  const Path b = make_line({10, 0}, {10, 5});
+  const Path j = a.joined(b);
+  EXPECT_DOUBLE_EQ(j.length(), 15.0);
+  EXPECT_EQ(j.point_at(12), (Vec2{10, 2}));
+}
+
+TEST(Path, SubpathPreservesGeometry) {
+  const Path p({{0, 0}, {10, 0}, {10, 10}});
+  const Path sub = p.subpath(5, 15);
+  EXPECT_NEAR(sub.length(), 10.0, kTol);
+  EXPECT_EQ(sub.point_at(0), (Vec2{5, 0}));
+  EXPECT_NEAR(sub.point_at(10).y, 5.0, kTol);
+  // Degenerate span.
+  EXPECT_TRUE(p.subpath(5, 5).empty());
+  // Clamped span.
+  EXPECT_NEAR(p.subpath(-5, 100).length(), 20.0, kTol);
+}
+
+TEST(Path, SampleSpacing) {
+  const Path p = make_line({0, 0}, {10, 0});
+  const auto samples = p.sample(2.5);
+  ASSERT_EQ(samples.size(), 5u);  // 0, 2.5, 5, 7.5, 10
+  EXPECT_EQ(samples.back(), (Vec2{10, 0}));
+}
+
+TEST(Conflicts, CrossingPathsHaveOneZone) {
+  const Path a = make_line({-10, 0}, {10, 0});
+  const Path b = make_line({0, -10}, {0, 10});
+  const auto zones = find_conflicts(a, b, 2.0, 0.5);
+  ASSERT_EQ(zones.size(), 1u);
+  // Conflict centered at the crossing (s = 10 on both).
+  EXPECT_NEAR((zones[0].a_begin + zones[0].a_end) / 2, 10.0, 1.0);
+  EXPECT_NEAR((zones[0].b_begin + zones[0].b_end) / 2, 10.0, 1.0);
+}
+
+TEST(Conflicts, ParallelDistantPathsHaveNone) {
+  const Path a = make_line({0, 0}, {100, 0});
+  const Path b = make_line({0, 10}, {100, 10});
+  EXPECT_TRUE(find_conflicts(a, b, 3.0, 1.0).empty());
+}
+
+TEST(Conflicts, OverlappingPathsYieldLongZone) {
+  const Path a = make_line({0, 0}, {100, 0});
+  const Path b = make_line({50, 0}, {150, 0});
+  const auto zones = find_conflicts(a, b, 2.0, 1.0);
+  ASSERT_EQ(zones.size(), 1u);
+  EXPECT_NEAR(zones[0].a_begin, 48.0, 2.5);  // conflict starts ~ where b starts
+  EXPECT_NEAR(zones[0].a_end, 100.0, 1.0);
+}
+
+TEST(Conflicts, DoubleCrossingYieldsTwoZones) {
+  // b crosses a twice (a zig-zag over a straight line).
+  const Path a = make_line({0, 0}, {100, 0});
+  const Path b({{20, -10}, {30, 10}, {70, 10}, {80, -10}});
+  const auto zones = find_conflicts(a, b, 2.0, 0.5);
+  EXPECT_EQ(zones.size(), 2u);
+}
+
+TEST(Conflicts, EmptyPathsYieldNone) {
+  EXPECT_TRUE(find_conflicts(Path(), make_line({0, 0}, {1, 0}), 1.0).empty());
+}
+
+}  // namespace
+}  // namespace nwade::geom

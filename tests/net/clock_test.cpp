@@ -1,0 +1,76 @@
+// DES kernel edge cases beyond the network tests.
+#include <gtest/gtest.h>
+
+#include "net/clock.h"
+
+namespace nwade::net {
+namespace {
+
+TEST(SimClock, MonotonicAdvance) {
+  SimClock c;
+  EXPECT_EQ(c.now(), 0);
+  c.advance_to(100);
+  EXPECT_EQ(c.now(), 100);
+  c.advance_to(50);  // never goes backwards
+  EXPECT_EQ(c.now(), 100);
+}
+
+TEST(EventQueue, EmptyRunAdvancesClock) {
+  EventQueue q;
+  SimClock c;
+  q.run_until(500, c);
+  EXPECT_EQ(c.now(), 500);
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.next_time(), kTickMax);
+}
+
+TEST(EventQueue, EventSeesItsOwnTimestamp) {
+  EventQueue q;
+  SimClock c;
+  Tick seen = -1;
+  q.schedule_at(42, [&] { seen = c.now(); });
+  q.run_until(100, c);
+  EXPECT_EQ(seen, 42);
+}
+
+TEST(EventQueue, EventsBeyondHorizonStayQueued) {
+  EventQueue q;
+  SimClock c;
+  int fired = 0;
+  q.schedule_at(10, [&] { fired++; });
+  q.schedule_at(200, [&] { fired++; });
+  q.run_until(100, c);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(q.size(), 1u);
+  q.run_until(300, c);
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueue, RecursiveSchedulingSameTick) {
+  EventQueue q;
+  SimClock c;
+  std::vector<int> order;
+  q.schedule_at(10, [&] {
+    order.push_back(1);
+    // Same-tick event scheduled from within an event still fires this run.
+    q.schedule_at(10, [&] { order.push_back(2); });
+  });
+  q.run_until(10, c);
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(EventQueue, PeriodicSelfRearming) {
+  EventQueue q;
+  SimClock c;
+  int count = 0;
+  std::function<void()> tick = [&] {
+    ++count;
+    if (count < 5) q.schedule_at(c.now() + 100, tick);
+  };
+  q.schedule_at(100, tick);
+  q.run_until(10'000, c);
+  EXPECT_EQ(count, 5);
+}
+
+}  // namespace
+}  // namespace nwade::net

@@ -1,0 +1,92 @@
+// Eq. (2)/(3) closed forms, including the paper's worked example.
+#include "nwade/analysis.h"
+
+#include <gtest/gtest.h>
+
+#include "nwade/config.h"
+
+namespace nwade::protocol {
+namespace {
+
+TEST(Analysis, PaperWorkedExample) {
+  // p_v*p_loc = 10%, p_im = 0.1%, k = 20/2+1 = 11 -> P_e ~ 0.1%.
+  const double pe = self_evacuation_probability(11, 0.10, 0.001);
+  EXPECT_NEAR(pe, 0.001, 0.0002);
+  EXPECT_EQ(majority_threshold(20), 11);
+}
+
+TEST(Analysis, SelfEvacuationBounds) {
+  EXPECT_DOUBLE_EQ(self_evacuation_probability(5, 0.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(self_evacuation_probability(0, 0.5, 0.0), 1.0);  // k=0: x^0=1
+  EXPECT_NEAR(self_evacuation_probability(50, 0.1, 0.0), 0.0, 1e-12);
+  // Compromised IM dominates for large k.
+  EXPECT_NEAR(self_evacuation_probability(50, 0.1, 0.25), 0.25, 1e-9);
+}
+
+TEST(Analysis, SelfEvacuationDecreasesWithK) {
+  double prev = 1.0;
+  for (int k = 1; k <= 20; ++k) {
+    const double pe = self_evacuation_probability(k, 0.2, 0.001);
+    EXPECT_LE(pe, prev + 1e-15) << "k=" << k;
+    prev = pe;
+  }
+}
+
+TEST(Analysis, DetectionProbabilityShape) {
+  // P_d is high for very small and very large k (the exponent k*p^k peaks in
+  // between), and always in (0, 1].
+  const double omega = 5.0, pv = 0.3;
+  double min_pd = 1.0;
+  int argmin = 0;
+  for (int k = 0; k <= 30; ++k) {
+    const double pd = detection_probability(k, pv, omega);
+    EXPECT_GT(pd, 0.0);
+    EXPECT_LE(pd, 1.0);
+    if (pd < min_pd) {
+      min_pd = pd;
+      argmin = k;
+    }
+  }
+  EXPECT_GT(argmin, 0);
+  EXPECT_LT(argmin, 30);
+  EXPECT_NEAR(detection_probability(0, pv, omega), 1.0, 1e-12);
+  EXPECT_NEAR(detection_probability(30, pv, omega), 1.0, 1e-3);
+}
+
+TEST(Analysis, MajorityThreshold) {
+  EXPECT_EQ(majority_threshold(0), 1);
+  EXPECT_EQ(majority_threshold(1), 1);
+  EXPECT_EQ(majority_threshold(2), 2);
+  EXPECT_EQ(majority_threshold(21), 11);
+}
+
+TEST(Table1, HasElevenSettings) {
+  const auto settings = table1_attack_settings();
+  ASSERT_EQ(settings.size(), 11u);
+  // Spot-check the structure against Table I.
+  const auto v10 = attack_setting_by_name("V10");
+  EXPECT_EQ(v10.malicious_vehicles, 10);
+  EXPECT_FALSE(v10.im_malicious);
+  EXPECT_EQ(v10.plan_violations, 1);
+  EXPECT_EQ(v10.false_reports, 9);
+  const auto im = attack_setting_by_name("IM");
+  EXPECT_TRUE(im.im_malicious);
+  EXPECT_EQ(im.malicious_vehicles, 0);
+  const auto imv5 = attack_setting_by_name("IM_V5");
+  EXPECT_TRUE(imv5.im_malicious);
+  EXPECT_EQ(imv5.malicious_vehicles, 5);
+  EXPECT_EQ(imv5.false_reports, 4);
+  // Consistency: vehicles = violations + false reports in every setting.
+  for (const auto& s : settings) {
+    EXPECT_EQ(s.malicious_vehicles, s.plan_violations + s.false_reports) << s.name;
+  }
+}
+
+TEST(Table1, UnknownNameIsBenign) {
+  const auto s = attack_setting_by_name("nonsense");
+  EXPECT_EQ(s.malicious_vehicles, 0);
+  EXPECT_FALSE(s.im_malicious);
+}
+
+}  // namespace
+}  // namespace nwade::protocol

@@ -1,0 +1,109 @@
+// Mixed-traffic extension (the paper's future work): legacy vehicles without
+// V2X share the intersection with managed traffic. The IM synthesizes virtual
+// plans from perception and schedules managed vehicles around them.
+#include <gtest/gtest.h>
+
+#include "sim/world.h"
+
+namespace nwade::sim {
+namespace {
+
+ScenarioConfig mixed_config(double fraction) {
+  ScenarioConfig cfg;
+  cfg.intersection.kind = traffic::IntersectionKind::kCross4;
+  cfg.vehicles_per_minute = 60;
+  cfg.duration_ms = 90'000;
+  cfg.legacy_fraction = fraction;
+  cfg.seed = 77;
+  return cfg;
+}
+
+TEST(MixedTraffic, ZeroFractionSpawnsNoLegacy) {
+  const RunSummary s = World(mixed_config(0.0)).run();
+  EXPECT_EQ(s.legacy_spawned, 0);
+}
+
+TEST(MixedTraffic, LegacyVehiclesCrossTheIntersection) {
+  const RunSummary s = World(mixed_config(0.3)).run();
+  EXPECT_GT(s.legacy_spawned, 5);
+  EXPECT_GT(s.legacy_exited, 2);
+  // Managed traffic still flows.
+  EXPECT_GT(s.metrics.vehicles_exited, 10);
+}
+
+TEST(MixedTraffic, NoFalseAlarmsFromLegacyVehicles) {
+  const RunSummary s = World(mixed_config(0.3)).run();
+  // Legacy-induced replanning means a watcher can briefly hold a stale copy
+  // of a queued vehicle's plan and file a report; the IM (which holds the
+  // newest plan) must dismiss every such report, and nothing may escalate.
+  // Constant legacy-driven replanning keeps some watcher plan-copies briefly
+  // stale, so a bounded trickle of reports is expected...
+  EXPECT_LE(s.metrics.incident_reports, 30);
+  // ...but the IM (holding the newest plans) dismisses them all and nothing
+  // ever escalates.
+  EXPECT_GE(s.metrics.alarm_dismissals, s.metrics.incident_reports > 0 ? 1 : 0);
+  EXPECT_EQ(s.metrics.false_alarm_evacuations, 0);
+  EXPECT_EQ(s.metrics.benign_self_evacuations, 0);
+  EXPECT_EQ(s.metrics.evacuation_alerts, 0);
+}
+
+TEST(MixedTraffic, NearCollisionFreeGroundTruth) {
+  const RunSummary s = World(mixed_config(0.3)).run();
+  // Legacy vehicles have no cooperative planning: the audit counts
+  // pair-seconds below 1.5 m, and legacy cars briefly close-follow while
+  // braking behind queues. A handful of pair-seconds is the uncooperative
+  // reality the paper's future work asks about; sustained contact is not.
+  EXPECT_LE(s.min_ground_truth_gap_violations, 5)
+      << "managed traffic must be scheduled around legacy trajectories";
+}
+
+TEST(MixedTraffic, ChainCarriesUnmanagedPlans) {
+  ScenarioConfig cfg = mixed_config(0.4);
+  World world(cfg);
+  world.run_until(60'000);
+  bool found_unmanaged = false;
+  for (VehicleId id : world.vehicle_ids()) {
+    const auto* v = world.vehicle(id);
+    if (v->exited()) continue;
+    for (const auto& block : v->store().blocks()) {
+      for (const auto& p : block.plans) {
+        if (p.unmanaged) found_unmanaged = true;
+      }
+    }
+    if (found_unmanaged) break;
+  }
+  EXPECT_TRUE(found_unmanaged)
+      << "the IM publishes virtual legacy plans through the chain";
+}
+
+TEST(MixedTraffic, AttackStillDetectedAmongLegacyTraffic) {
+  ScenarioConfig cfg = mixed_config(0.3);
+  cfg.attack = protocol::attack_setting_by_name("V1");
+  cfg.attack_time = 40'000;
+  const RunSummary s = World(cfg).run();
+  if (s.metrics.violation_start) {
+    EXPECT_TRUE(s.metrics.deviation_confirmed.has_value())
+        << "legacy bystanders must not blind the neighbourhood watch";
+  }
+  EXPECT_EQ(s.metrics.false_alarm_evacuations, 0);
+}
+
+TEST(MixedTraffic, HighPenetrationStillSafe) {
+  const RunSummary s = World(mixed_config(0.6)).run();
+  EXPECT_GT(s.legacy_exited, 5);
+  // At 60% penetration most interactions are legacy-vs-legacy queueing;
+  // close-following pair-seconds grow accordingly but never explode.
+  EXPECT_LE(s.min_ground_truth_gap_violations, 20);
+  EXPECT_EQ(s.metrics.false_alarm_evacuations, 0);
+}
+
+TEST(MixedTraffic, DeterministicWithLegacy) {
+  const RunSummary a = World(mixed_config(0.3)).run();
+  const RunSummary b = World(mixed_config(0.3)).run();
+  EXPECT_EQ(a.legacy_spawned, b.legacy_spawned);
+  EXPECT_EQ(a.legacy_exited, b.legacy_exited);
+  EXPECT_EQ(a.metrics.vehicles_exited, b.metrics.vehicles_exited);
+}
+
+}  // namespace
+}  // namespace nwade::sim

@@ -1,0 +1,109 @@
+// Scenario matrix: every intersection layout crossed with the interesting
+// attack settings runs to completion with sane outcomes (property-style
+// end-to-end sweep, the long-tail counterpart of world_test.cpp).
+#include <gtest/gtest.h>
+
+#include "sim/world.h"
+
+namespace nwade::sim {
+namespace {
+
+struct MatrixParam {
+  traffic::IntersectionKind kind;
+  std::string attack;
+};
+
+class ScenarioMatrixTest : public ::testing::TestWithParam<MatrixParam> {};
+
+TEST_P(ScenarioMatrixTest, RunsToCompletionWithSaneOutcome) {
+  ScenarioConfig cfg;
+  cfg.intersection.kind = GetParam().kind;
+  cfg.vehicles_per_minute = 70;
+  cfg.duration_ms = 80'000;
+  cfg.attack = protocol::attack_setting_by_name(GetParam().attack);
+  cfg.attack_time = 35'000;
+  cfg.seed = 321;
+  World world(cfg);
+  const RunSummary s = world.run();
+
+  // Liveness: traffic moved.
+  EXPECT_GT(s.metrics.vehicles_exited, 5);
+  // Conservation: exited never exceeds spawned.
+  EXPECT_LE(s.metrics.vehicles_exited, s.metrics.vehicles_spawned);
+  // Chain liveness: blocks flowed.
+  EXPECT_GT(s.metrics.blocks_published, 10);
+
+  const auto& attack = cfg.attack;
+  if (attack.malicious_vehicles == 0 && !attack.im_malicious) {
+    // Benign runs stay quiet.
+    EXPECT_EQ(s.metrics.incident_reports, 0);
+    EXPECT_EQ(s.metrics.benign_self_evacuations, 0);
+  }
+  if (attack.plan_violations > 0 && s.metrics.violation_start) {
+    // A physical violation, once it materializes, is recognized: either the
+    // IM confirmed it, or (colluding IM) vehicles went global over it.
+    EXPECT_TRUE(s.metrics.deviation_confirmed.has_value() ||
+                s.metrics.im_conflict_detected.has_value())
+        << intersection_name(cfg.intersection.kind) << " / " << attack.name;
+  }
+  // Nobody evacuated over an innocent vehicle.
+  EXPECT_EQ(s.metrics.false_alarm_evacuations, 0)
+      << intersection_name(cfg.intersection.kind) << " / " << attack.name;
+}
+
+std::vector<MatrixParam> matrix() {
+  std::vector<MatrixParam> out;
+  for (traffic::IntersectionKind kind : traffic::kAllIntersectionKinds) {
+    for (const char* attack : {"benign", "V1", "V3", "IM_V1"}) {
+      out.push_back(MatrixParam{kind, attack});
+    }
+  }
+  return out;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKindsAllAttacks, ScenarioMatrixTest, ::testing::ValuesIn(matrix()),
+    [](const ::testing::TestParamInfo<MatrixParam>& info) {
+      std::string name = intersection_name(info.param.kind);
+      name += "_" + info.param.attack;
+      for (char& c : name) {
+        if (!isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name;
+    });
+
+TEST(PacketLoss, ProtocolSurvivesLossyNetwork) {
+  ScenarioConfig cfg;
+  cfg.intersection.kind = traffic::IntersectionKind::kCross4;
+  cfg.vehicles_per_minute = 60;
+  cfg.duration_ms = 80'000;
+  cfg.network.loss_probability = 0.05;  // 5% packet loss
+  cfg.attack = protocol::attack_setting_by_name("V1");
+  cfg.attack_time = 35'000;
+  cfg.seed = 11;
+  const RunSummary s = World(cfg).run();
+  EXPECT_GT(s.metrics.vehicles_exited, 10);
+  EXPECT_GT(s.net_stats.packets_dropped, 0u);
+  // Dropped blocks force resyncs/requests but must not cause false panics.
+  EXPECT_EQ(s.metrics.false_alarm_evacuations, 0);
+}
+
+TEST(LongRun, FiveMinutesStaysBounded) {
+  ScenarioConfig cfg;
+  cfg.intersection.kind = traffic::IntersectionKind::kCross4;
+  cfg.vehicles_per_minute = 80;
+  cfg.duration_ms = 5 * 60'000;
+  cfg.seed = 5;
+  World world(cfg);
+  const RunSummary s = world.run();
+  // Throughput approaches demand in steady state.
+  EXPECT_GT(s.throughput_vpm, 50.0);
+  // Vehicle-side chain caches respect the tau/delta bound.
+  for (VehicleId id : world.vehicle_ids()) {
+    const auto* v = world.vehicle(id);
+    EXPECT_LE(v->store().size(), cfg.nwade.chain_depth);
+  }
+}
+
+}  // namespace
+}  // namespace nwade::sim

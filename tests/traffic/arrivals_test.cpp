@@ -1,0 +1,88 @@
+// Poisson arrival generation: rates, determinism, turn split.
+#include "traffic/arrivals.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace nwade::traffic {
+namespace {
+
+Intersection cross4() {
+  IntersectionConfig cfg;
+  cfg.kind = IntersectionKind::kCross4;
+  return Intersection::build(cfg);
+}
+
+TEST(Arrivals, RateMatchesDemand) {
+  const auto ix = cross4();
+  for (double vpm : {20.0, 80.0, 120.0}) {
+    ArrivalGenerator gen(ix, vpm, Rng(1));
+    const auto arrivals = gen.generate(10 * 60 * 1000);  // 10 minutes
+    const double expected = vpm * 10;
+    EXPECT_NEAR(static_cast<double>(arrivals.size()), expected, expected * 0.15)
+        << "vpm " << vpm;
+  }
+}
+
+TEST(Arrivals, SortedByTimeWithinHorizon) {
+  const auto ix = cross4();
+  ArrivalGenerator gen(ix, 80, Rng(2));
+  const auto arrivals = gen.generate(60000);
+  ASSERT_FALSE(arrivals.empty());
+  for (std::size_t i = 1; i < arrivals.size(); ++i) {
+    EXPECT_LE(arrivals[i - 1].time, arrivals[i].time);
+  }
+  EXPECT_LT(arrivals.back().time, 60000);
+  EXPECT_GE(arrivals.front().time, 0);
+}
+
+TEST(Arrivals, DeterministicForSameSeed) {
+  const auto ix = cross4();
+  const auto a = ArrivalGenerator(ix, 80, Rng(3)).generate(60000);
+  const auto b = ArrivalGenerator(ix, 80, Rng(3)).generate(60000);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].time, b[i].time);
+    EXPECT_EQ(a[i].route_id, b[i].route_id);
+  }
+}
+
+TEST(Arrivals, TurnSplitApproximates25_50_25) {
+  const auto ix = cross4();
+  ArrivalGenerator gen(ix, 120, Rng(4));
+  const auto arrivals = gen.generate(30 * 60 * 1000);
+  std::map<Turn, int> counts;
+  for (const auto& a : arrivals) counts[ix.route(a.route_id).turn]++;
+  const double total = static_cast<double>(arrivals.size());
+  EXPECT_NEAR(counts[Turn::kLeft] / total, 0.25, 0.04);
+  EXPECT_NEAR(counts[Turn::kStraight] / total, 0.50, 0.04);
+  EXPECT_NEAR(counts[Turn::kRight] / total, 0.25, 0.04);
+}
+
+TEST(Arrivals, AllLegsUsed) {
+  const auto ix = cross4();
+  ArrivalGenerator gen(ix, 80, Rng(5));
+  const auto arrivals = gen.generate(5 * 60 * 1000);
+  std::map<int, int> per_leg;
+  for (const auto& a : arrivals) per_leg[ix.route(a.route_id).entry_leg]++;
+  EXPECT_EQ(per_leg.size(), 4u);
+  // Uniform across legs, roughly.
+  for (const auto& [leg, count] : per_leg) {
+    EXPECT_NEAR(count, static_cast<int>(arrivals.size()) / 4,
+                static_cast<int>(arrivals.size()) / 10)
+        << "leg " << leg;
+  }
+}
+
+TEST(Arrivals, InitialSpeedWithinLimits) {
+  const auto ix = cross4();
+  ArrivalGenerator gen(ix, 80, Rng(6));
+  for (const auto& a : gen.generate(60000)) {
+    EXPECT_GT(a.initial_speed_mps, 0);
+    EXPECT_LE(a.initial_speed_mps, ix.config().limits.speed_limit_mps + 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace nwade::traffic

@@ -1,0 +1,104 @@
+// ByteWriter/ByteReader round trips, hex codec, Result, and id types.
+#include "util/bytes.h"
+
+#include <gtest/gtest.h>
+
+#include "util/result.h"
+#include "util/types.h"
+
+namespace nwade {
+namespace {
+
+TEST(Bytes, WriterReaderRoundTrip) {
+  ByteWriter w;
+  w.u8(0xab);
+  w.u32(0xdeadbeef);
+  w.u64(0x0123456789abcdefULL);
+  w.i64(-42);
+  w.f64(3.14159);
+  w.str("hello");
+  w.bytes(Bytes{1, 2, 3});
+
+  ByteReader r(w.data());
+  EXPECT_EQ(r.u8(), 0xab);
+  EXPECT_EQ(r.u32(), 0xdeadbeefu);
+  EXPECT_EQ(r.u64(), 0x0123456789abcdefULL);
+  EXPECT_EQ(r.i64(), -42);
+  EXPECT_DOUBLE_EQ(r.f64(), 3.14159);
+  EXPECT_EQ(r.str(), "hello");
+  EXPECT_EQ(r.bytes(), (Bytes{1, 2, 3}));
+  EXPECT_TRUE(r.ok());
+  EXPECT_TRUE(r.at_end());
+}
+
+TEST(Bytes, ReaderOverrunSetsErrorNotUb) {
+  ByteWriter w;
+  w.u8(1);
+  ByteReader r(w.data());
+  EXPECT_EQ(r.u8(), 1);
+  EXPECT_EQ(r.u64(), 0u);  // overrun
+  EXPECT_FALSE(r.ok());
+  // Error is sticky.
+  EXPECT_EQ(r.u8(), 0);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(Bytes, TruncatedLengthPrefixedBytesFails) {
+  ByteWriter w;
+  w.u32(100);  // claims 100 bytes follow; none do
+  ByteReader r(w.data());
+  EXPECT_TRUE(r.bytes().empty());
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(Bytes, HexRoundTrip) {
+  const Bytes data{0x00, 0x01, 0xab, 0xff};
+  EXPECT_EQ(to_hex(data), "0001abff");
+  EXPECT_EQ(from_hex("0001abff"), data);
+  EXPECT_EQ(from_hex("0001ABFF"), data);
+}
+
+TEST(Bytes, MalformedHexRejected) {
+  EXPECT_TRUE(from_hex("abc").empty());   // odd length
+  EXPECT_TRUE(from_hex("zz").empty());    // non-hex
+  EXPECT_TRUE(from_hex("").empty());      // empty is fine but empty
+}
+
+TEST(Result, ValueAndError) {
+  Result<int> ok = 42;
+  EXPECT_TRUE(ok.has_value());
+  EXPECT_EQ(ok.value(), 42);
+  EXPECT_EQ(ok.value_or(0), 42);
+
+  Result<int> err = std::string("boom");
+  EXPECT_FALSE(err.has_value());
+  EXPECT_EQ(err.error(), "boom");
+  EXPECT_EQ(err.value_or(7), 7);
+}
+
+TEST(Result, VoidSpecialization) {
+  Status ok = Status::ok();
+  EXPECT_TRUE(ok);
+  Status bad = Status::err("nope");
+  EXPECT_FALSE(bad);
+  EXPECT_EQ(bad.error(), "nope");
+}
+
+TEST(Types, IdsAreDistinctTypes) {
+  VehicleId v{3};
+  EXPECT_EQ(vehicle_node(v), NodeId{4});
+  EXPECT_EQ(node_vehicle(NodeId{4}), v);
+  EXPECT_EQ(node_vehicle(kImNodeId), VehicleId{});
+  EXPECT_FALSE(VehicleId{}.valid());
+  EXPECT_TRUE(v.valid());
+}
+
+TEST(Types, UnitConversions) {
+  EXPECT_NEAR(mph_to_mps(50.0), 22.35, 0.01);
+  EXPECT_NEAR(feet_to_meters(1000.0), 304.8, 0.01);
+  EXPECT_EQ(seconds_to_ticks(1.5), 1500);
+  EXPECT_DOUBLE_EQ(ticks_to_seconds(250), 0.25);
+}
+
+}  // namespace
+}  // namespace nwade
