@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_blockchain.dir/bench_blockchain.cpp.o"
+  "CMakeFiles/bench_blockchain.dir/bench_blockchain.cpp.o.d"
+  "bench_blockchain"
+  "bench_blockchain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_blockchain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_network_load.dir/bench_network_load.cpp.o"
+  "CMakeFiles/bench_network_load.dir/bench_network_load.cpp.o.d"
+  "bench_network_load"
+  "bench_network_load.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_network_load.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

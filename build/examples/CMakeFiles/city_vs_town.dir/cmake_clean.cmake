@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/city_vs_town.dir/city_vs_town.cpp.o"
+  "CMakeFiles/city_vs_town.dir/city_vs_town.cpp.o.d"
+  "city_vs_town"
+  "city_vs_town.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/city_vs_town.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for city_vs_town.
+# This may be replaced when dependencies are built.

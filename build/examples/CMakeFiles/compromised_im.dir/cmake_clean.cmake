@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compromised_im.dir/compromised_im.cpp.o"
+  "CMakeFiles/compromised_im.dir/compromised_im.cpp.o.d"
+  "compromised_im"
+  "compromised_im.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compromised_im.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

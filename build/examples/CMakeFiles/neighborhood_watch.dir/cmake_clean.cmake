@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/neighborhood_watch.dir/neighborhood_watch.cpp.o"
+  "CMakeFiles/neighborhood_watch.dir/neighborhood_watch.cpp.o.d"
+  "neighborhood_watch"
+  "neighborhood_watch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/neighborhood_watch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nwade_aim.dir/baseline.cpp.o"
+  "CMakeFiles/nwade_aim.dir/baseline.cpp.o.d"
+  "CMakeFiles/nwade_aim.dir/plan.cpp.o"
+  "CMakeFiles/nwade_aim.dir/plan.cpp.o.d"
+  "CMakeFiles/nwade_aim.dir/scheduler.cpp.o"
+  "CMakeFiles/nwade_aim.dir/scheduler.cpp.o.d"
+  "libnwade_aim.a"
+  "libnwade_aim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nwade_aim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

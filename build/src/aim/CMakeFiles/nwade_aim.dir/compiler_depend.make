@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for nwade_aim.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nwade_chain.dir/block.cpp.o"
+  "CMakeFiles/nwade_chain.dir/block.cpp.o.d"
+  "CMakeFiles/nwade_chain.dir/store.cpp.o"
+  "CMakeFiles/nwade_chain.dir/store.cpp.o.d"
+  "libnwade_chain.a"
+  "libnwade_chain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nwade_chain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

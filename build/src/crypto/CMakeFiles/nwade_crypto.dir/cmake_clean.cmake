@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nwade_crypto.dir/bignum.cpp.o"
+  "CMakeFiles/nwade_crypto.dir/bignum.cpp.o.d"
+  "CMakeFiles/nwade_crypto.dir/merkle.cpp.o"
+  "CMakeFiles/nwade_crypto.dir/merkle.cpp.o.d"
+  "CMakeFiles/nwade_crypto.dir/rsa.cpp.o"
+  "CMakeFiles/nwade_crypto.dir/rsa.cpp.o.d"
+  "CMakeFiles/nwade_crypto.dir/sha256.cpp.o"
+  "CMakeFiles/nwade_crypto.dir/sha256.cpp.o.d"
+  "CMakeFiles/nwade_crypto.dir/signer.cpp.o"
+  "CMakeFiles/nwade_crypto.dir/signer.cpp.o.d"
+  "libnwade_crypto.a"
+  "libnwade_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nwade_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

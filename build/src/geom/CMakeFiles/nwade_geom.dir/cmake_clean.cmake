@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nwade_geom.dir/path.cpp.o"
+  "CMakeFiles/nwade_geom.dir/path.cpp.o.d"
+  "libnwade_geom.a"
+  "libnwade_geom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nwade_geom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nwade_net.dir/network.cpp.o"
+  "CMakeFiles/nwade_net.dir/network.cpp.o.d"
+  "libnwade_net.a"
+  "libnwade_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nwade_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

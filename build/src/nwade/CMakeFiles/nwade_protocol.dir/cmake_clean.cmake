@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nwade_protocol.dir/analysis.cpp.o"
+  "CMakeFiles/nwade_protocol.dir/analysis.cpp.o.d"
+  "CMakeFiles/nwade_protocol.dir/config.cpp.o"
+  "CMakeFiles/nwade_protocol.dir/config.cpp.o.d"
+  "CMakeFiles/nwade_protocol.dir/im_node.cpp.o"
+  "CMakeFiles/nwade_protocol.dir/im_node.cpp.o.d"
+  "CMakeFiles/nwade_protocol.dir/vehicle_node.cpp.o"
+  "CMakeFiles/nwade_protocol.dir/vehicle_node.cpp.o.d"
+  "libnwade_protocol.a"
+  "libnwade_protocol.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nwade_protocol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

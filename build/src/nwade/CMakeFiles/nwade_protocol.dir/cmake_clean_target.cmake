@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libnwade_protocol.a"
+)

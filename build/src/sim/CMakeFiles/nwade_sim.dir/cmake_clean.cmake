@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nwade_sim.dir/world.cpp.o"
+  "CMakeFiles/nwade_sim.dir/world.cpp.o.d"
+  "libnwade_sim.a"
+  "libnwade_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nwade_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

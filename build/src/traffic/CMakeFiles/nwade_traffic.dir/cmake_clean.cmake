@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nwade_traffic.dir/arrivals.cpp.o"
+  "CMakeFiles/nwade_traffic.dir/arrivals.cpp.o.d"
+  "CMakeFiles/nwade_traffic.dir/intersection.cpp.o"
+  "CMakeFiles/nwade_traffic.dir/intersection.cpp.o.d"
+  "libnwade_traffic.a"
+  "libnwade_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nwade_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nwade_util.dir/bytes.cpp.o"
+  "CMakeFiles/nwade_util.dir/bytes.cpp.o.d"
+  "CMakeFiles/nwade_util.dir/log.cpp.o"
+  "CMakeFiles/nwade_util.dir/log.cpp.o.d"
+  "CMakeFiles/nwade_util.dir/rng.cpp.o"
+  "CMakeFiles/nwade_util.dir/rng.cpp.o.d"
+  "libnwade_util.a"
+  "libnwade_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nwade_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/im_node_test.dir/nwade/im_node_test.cpp.o"
+  "CMakeFiles/im_node_test.dir/nwade/im_node_test.cpp.o.d"
+  "im_node_test"
+  "im_node_test.pdb"
+  "im_node_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/im_node_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

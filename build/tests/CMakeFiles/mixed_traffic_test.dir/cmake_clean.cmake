@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mixed_traffic_test.dir/sim/mixed_traffic_test.cpp.o"
+  "CMakeFiles/mixed_traffic_test.dir/sim/mixed_traffic_test.cpp.o.d"
+  "mixed_traffic_test"
+  "mixed_traffic_test.pdb"
+  "mixed_traffic_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mixed_traffic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/revocation_test.dir/chain/revocation_test.cpp.o"
+  "CMakeFiles/revocation_test.dir/chain/revocation_test.cpp.o.d"
+  "revocation_test"
+  "revocation_test.pdb"
+  "revocation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/revocation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scenario_matrix_test.dir/sim/scenario_matrix_test.cpp.o"
+  "CMakeFiles/scenario_matrix_test.dir/sim/scenario_matrix_test.cpp.o.d"
+  "scenario_matrix_test"
+  "scenario_matrix_test.pdb"
+  "scenario_matrix_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scenario_matrix_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/aim/scheduler_test.cpp" "tests/CMakeFiles/scheduler_test.dir/aim/scheduler_test.cpp.o" "gcc" "tests/CMakeFiles/scheduler_test.dir/aim/scheduler_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/nwade_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/nwade_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/aim/CMakeFiles/nwade_aim.dir/DependInfo.cmake"
+  "/root/repo/build/src/traffic/CMakeFiles/nwade_traffic.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/nwade_geom.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/signer_test.dir/crypto/signer_test.cpp.o"
+  "CMakeFiles/signer_test.dir/crypto/signer_test.cpp.o.d"
+  "signer_test"
+  "signer_test.pdb"
+  "signer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/signer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vehicle_node_test.dir/nwade/vehicle_node_test.cpp.o"
+  "CMakeFiles/vehicle_node_test.dir/nwade/vehicle_node_test.cpp.o.d"
+  "vehicle_node_test"
+  "vehicle_node_test.pdb"
+  "vehicle_node_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vehicle_node_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/sha256_test[1]_include.cmake")
+include("/root/repo/build/tests/bignum_test[1]_include.cmake")
+include("/root/repo/build/tests/rsa_test[1]_include.cmake")
+include("/root/repo/build/tests/merkle_test[1]_include.cmake")
+include("/root/repo/build/tests/signer_test[1]_include.cmake")
+include("/root/repo/build/tests/bytes_test[1]_include.cmake")
+include("/root/repo/build/tests/path_test[1]_include.cmake")
+include("/root/repo/build/tests/network_test[1]_include.cmake")
+include("/root/repo/build/tests/intersection_test[1]_include.cmake")
+include("/root/repo/build/tests/arrivals_test[1]_include.cmake")
+include("/root/repo/build/tests/plan_test[1]_include.cmake")
+include("/root/repo/build/tests/scheduler_test[1]_include.cmake")
+include("/root/repo/build/tests/block_test[1]_include.cmake")
+include("/root/repo/build/tests/store_test[1]_include.cmake")
+include("/root/repo/build/tests/analysis_test[1]_include.cmake")
+include("/root/repo/build/tests/world_test[1]_include.cmake")
+include("/root/repo/build/tests/vehicle_node_test[1]_include.cmake")
+include("/root/repo/build/tests/im_node_test[1]_include.cmake")
+include("/root/repo/build/tests/messages_test[1]_include.cmake")
+include("/root/repo/build/tests/revocation_test[1]_include.cmake")
+include("/root/repo/build/tests/scenario_matrix_test[1]_include.cmake")
+include("/root/repo/build/tests/baseline_test[1]_include.cmake")
+include("/root/repo/build/tests/clock_test[1]_include.cmake")
+include("/root/repo/build/tests/plan_property_test[1]_include.cmake")
+include("/root/repo/build/tests/mixed_traffic_test[1]_include.cmake")
+include("/root/repo/build/tests/config_sweep_test[1]_include.cmake")
