@@ -1,0 +1,120 @@
+// Fault-tolerance curves: detection rate, detection time, and throughput as a
+// function of channel loss severity (docs/FAULT_MODEL.md).
+//
+// Two sweeps share the same V1 scenario:
+//   * uniform:  i.i.d. per-packet loss at p in {0 .. 0.4}
+//   * bursty:   Gilbert-Elliott with ~8-packet bursts at the same mean loss
+//
+// Output is a single JSON document on stdout (after the human-readable
+// banner) so plots can be regenerated without scraping tables:
+//   { "bench": "fault_tolerance", "sweeps": [ {"channel": "...", "points":
+//     [{"loss": .., "detection_rate": .., "mean_detection_time_ms": ..,
+//       "throughput_vpm": .., ...}] } ] }
+//
+// The loss = 0 point doubles as the regression anchor: with every fault knob
+// off the run consumes no fault randomness, so its numbers match the
+// fault-free baseline benches exactly.
+#include "support.h"
+
+using namespace nwade;
+using namespace nwade::bench;
+
+namespace {
+
+struct Channel {
+  std::string name;
+  // Builds the fault profile for one mean loss severity.
+  net::FaultProfile (*profile)(double loss);
+};
+
+net::FaultProfile uniform_profile(double loss) {
+  net::FaultProfile f;
+  // Degenerate Gilbert-Elliott: loss is i.i.d. when the bad state lasts one
+  // packet. Modelled through loss_probability-equivalent GE to keep the two
+  // sweeps on the same code path.
+  if (loss > 0) f = net::burst_loss_profile(loss, 1.0);
+  return f;
+}
+
+net::FaultProfile bursty_profile(double loss) {
+  net::FaultProfile f;
+  if (loss > 0) f = net::burst_loss_profile(loss, 8.0);
+  return f;
+}
+
+}  // namespace
+
+int main() {
+  banner("Fault tolerance: detection & throughput vs channel loss severity",
+         "robustness extension -- NWADE detection under lossy channels");
+
+  const std::vector<double> losses = {0.0, 0.05, 0.1, 0.2, 0.3, 0.4};
+  const std::vector<Channel> channels = {{"uniform", &uniform_profile},
+                                         {"bursty_8", &bursty_profile}};
+
+  std::vector<std::string> sweeps;
+  for (const Channel& channel : channels) {
+    row({"channel: " + channel.name}, 32);
+    row({"loss", "detect", "time ms", "vpm", "retries", "gap req"}, 10);
+
+    std::vector<std::string> points;
+    for (double loss : losses) {
+      int detected = 0, applicable = 0;
+      std::vector<double> detection_ms, throughput, retries, gap_requests;
+      double dropped = 0, sent = 0;
+      for (int round = 0; round < rounds(); ++round) {
+        sim::ScenarioConfig cfg = default_scenario();
+        cfg.vehicles_per_minute = 60;
+        cfg.attack = protocol::attack_setting_by_name("V1");
+        cfg.network.fault = channel.profile(loss);
+        cfg.seed = 9000 + static_cast<std::uint64_t>(round) * 131 +
+                   static_cast<std::uint64_t>(loss * 1000);
+        sim::World world(cfg);
+        const sim::RunSummary s = world.run();
+        throughput.push_back(s.throughput_vpm);
+        retries.push_back(static_cast<double>(s.metrics.plan_request_retries));
+        gap_requests.push_back(
+            static_cast<double>(s.metrics.gap_block_requests));
+        dropped += static_cast<double>(s.net_stats.packets_dropped);
+        sent += static_cast<double>(s.net_stats.packets_sent);
+        if (!s.metrics.violation_start) continue;
+        ++applicable;
+        if (s.metrics.deviation_confirmed) {
+          ++detected;
+          if (const auto t = s.metrics.deviation_detection_time()) {
+            detection_ms.push_back(static_cast<double>(*t));
+          }
+        }
+      }
+      const double rate =
+          applicable > 0 ? static_cast<double>(detected) / applicable : 0.0;
+      row({fmt(loss, 2), pct(rate), fmt(mean(detection_ms), 0),
+           fmt(mean(throughput), 1), fmt(mean(retries), 1),
+           fmt(mean(gap_requests), 1)},
+          10);
+      points.push_back(json_object({
+          json_field("loss", loss, 2),
+          json_field("detection_rate", rate),
+          json_field("mean_detection_time_ms", mean(detection_ms), 0),
+          json_field("stddev_detection_time_ms", stddev(detection_ms), 0),
+          json_field("throughput_vpm", mean(throughput), 2),
+          json_field("stddev_throughput_vpm", stddev(throughput), 2),
+          json_field("mean_plan_request_retries", mean(retries), 1),
+          json_field("mean_gap_block_requests", mean(gap_requests), 1),
+          json_field("observed_drop_share", sent > 0 ? dropped / sent : 0.0),
+      }));
+    }
+    sweeps.push_back(json_object(
+        {json_field("channel", channel.name),
+         "\"points\": " + json_array(points, "      ")}));
+  }
+
+  std::printf("\n%s\n",
+              json_object({json_field("bench", std::string("fault_tolerance")),
+                           json_field("rounds", static_cast<double>(rounds()), 0),
+                           json_field("duration_ms",
+                                      static_cast<double>(run_duration_ms()), 0),
+                           "\"sweeps\": " + json_array(sweeps, "    ")})
+                  .c_str());
+  return 0;
+}

@@ -83,4 +83,42 @@ inline std::string pct(double fraction) {
   return buf;
 }
 
+// --- minimal JSON emission (machine-readable curves) ------------------------
+
+inline std::string json_field(const std::string& key, double value,
+                              int precision = 3) {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "\"%s\": %.*f", key.c_str(), precision,
+                value);
+  return buf;
+}
+
+inline std::string json_field(const std::string& key, const std::string& value) {
+  return "\"" + key + "\": \"" + value + "\"";
+}
+
+/// {"a": 1, "b": 2} from already-rendered fields.
+inline std::string json_object(const std::vector<std::string>& fields) {
+  std::string out = "{";
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i) out += ", ";
+    out += fields[i];
+  }
+  out += "}";
+  return out;
+}
+
+/// [obj, obj, ...] from already-rendered objects, one per line.
+inline std::string json_array(const std::vector<std::string>& items,
+                              const std::string& indent = "    ") {
+  std::string out = "[\n";
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    out += indent + items[i];
+    if (i + 1 < items.size()) out += ",";
+    out += "\n";
+  }
+  out += indent.substr(0, indent.size() > 2 ? indent.size() - 2 : 0) + "]";
+  return out;
+}
+
 }  // namespace nwade::bench

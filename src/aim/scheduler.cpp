@@ -134,14 +134,18 @@ void ReservationScheduler::commit(const TravelPlan& plan, int route_id) {
   const traffic::Route& route = intersection_.route(route_id);
   if (const auto core =
           padded_occupancy(plan, route.core_begin, route.core_end, config_.margin_ms)) {
-    route_core_reservations_[route_id].push_back(Interval{core->first, core->second});
+    route_core_reservations_[route_id].push_back(
+        Interval{core->first, core->second, plan.vehicle});
   }
   for (const traffic::ZoneRef& ref : intersection_.zones_for(route_id)) {
     if (const auto occ =
             padded_occupancy(plan, ref.begin, ref.end, config_.margin_ms)) {
-      zone_reservations_[ref.zone_id].push_back(Interval{occ->first, occ->second});
+      zone_reservations_[ref.zone_id].push_back(
+          Interval{occ->first, occ->second, plan.vehicle});
     }
   }
+  Tick& last_entry = route_last_core_entry_[route_id];
+  last_entry = std::max(last_entry, plan.core_entry);
 }
 
 TravelPlan ReservationScheduler::schedule(VehicleId id, int route_id,
@@ -151,6 +155,12 @@ TravelPlan ReservationScheduler::schedule(VehicleId id, int route_id,
   const traffic::Route& route = intersection_.route(route_id);
   const double limit = intersection_.config().limits.speed_limit_mps;
   Tick core_entry = now + seconds_to_ticks(route.core_begin / limit);
+  // FIFO along the shared approach: never slot a new spawn in front of a
+  // same-route vehicle that already holds a (possibly distant) reservation.
+  if (const auto it = route_last_core_entry_.find(route_id);
+      it != route_last_core_entry_.end()) {
+    core_entry = std::max(core_entry, it->second + 1);
+  }
 
   TravelPlan plan = build_plan(id, route_id, traits, now, 0.0, core_entry);
   for (int iter = 0; iter < config_.max_push_iterations; ++iter) {
@@ -165,6 +175,16 @@ TravelPlan ReservationScheduler::schedule(VehicleId id, int route_id,
 
 void ReservationScheduler::reserve_virtual(const TravelPlan& plan) {
   commit(plan, plan.route_id);
+}
+
+void ReservationScheduler::release_vehicle(VehicleId id) {
+  const auto sweep = [id](std::map<int, std::vector<Interval>>& tables) {
+    for (auto& [key, table] : tables) {
+      std::erase_if(table, [id](const Interval& r) { return r.owner == id; });
+    }
+  };
+  sweep(zone_reservations_);
+  sweep(route_core_reservations_);
 }
 
 TravelPlan ReservationScheduler::reschedule(VehicleId id, int route_id,

@@ -107,12 +107,19 @@ class ReservationScheduler final : public Scheduler {
   /// trajectory. Mixed-traffic extension.
   void reserve_virtual(const TravelPlan& plan);
 
+  /// Drops every reservation a vehicle holds. Used when a tracked vehicle's
+  /// predicted trajectory is replaced (each window re-predicts it) or
+  /// falsified outright (it parked): without this, stale phantom claims pile
+  /// up and push same-core schedules tens of seconds into the future.
+  void release_vehicle(VehicleId id);
+
   /// Number of live zone reservations (for tests/metrics).
   std::size_t reservation_count() const;
 
  private:
   struct Interval {
     Tick begin, end;
+    VehicleId owner{};
   };
 
   TravelPlan build_plan(VehicleId id, int route_id,
@@ -128,6 +135,12 @@ class ReservationScheduler final : public Scheduler {
   SchedulerConfig config_;
   std::map<int, std::vector<Interval>> zone_reservations_;   // zone id -> intervals
   std::map<int, std::vector<Interval>> route_core_reservations_;  // route id -> intervals
+  /// Latest committed core-entry per route. New spawns (s=0) may not enter
+  /// the core before a vehicle already committed on the same route: the
+  /// earliest-fit search could otherwise slot a newcomer into a free window
+  /// *before* an earlier vehicle's distant reservation, making it physically
+  /// overtake that vehicle on the shared approach lane.
+  std::map<int, Tick> route_last_core_entry_;
 };
 
 }  // namespace nwade::aim

@@ -28,6 +28,18 @@ Result<void, ChainError> BlockStore::append(const Block& block,
   return Result<void, ChainError>::ok();
 }
 
+std::vector<BlockSeq> BlockStore::missing_before(BlockSeq incoming,
+                                                 std::size_t limit) const {
+  std::vector<BlockSeq> out;
+  if (blocks_.empty()) return out;
+  const BlockSeq expected = next_expected();
+  if (incoming <= expected) return out;  // contiguous or replay
+  for (BlockSeq seq = expected; seq < incoming && out.size() < limit; ++seq) {
+    out.push_back(seq);
+  }
+  return out;
+}
+
 const Block* BlockStore::by_seq(BlockSeq seq) const {
   for (const Block& b : blocks_) {
     if (b.seq == seq) return &b;

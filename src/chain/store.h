@@ -10,6 +10,7 @@
 
 #include <deque>
 #include <optional>
+#include <vector>
 
 #include "chain/block.h"
 #include "util/result.h"
@@ -43,6 +44,18 @@ class BlockStore {
 
   const Block* latest() const { return blocks_.empty() ? nullptr : &blocks_.back(); }
   const Block* by_seq(BlockSeq seq) const;
+
+  /// Sequence number the next append must carry to keep the chain contiguous;
+  /// 0 when the store is empty (any starting seq is accepted).
+  BlockSeq next_expected() const {
+    return blocks_.empty() ? 0 : blocks_.back().seq + 1;
+  }
+
+  /// The gap an incoming block with sequence `incoming` would reveal: every
+  /// missing seq in (latest, incoming), oldest first, capped at `limit`.
+  /// Empty when the store is empty, the block is contiguous, or it replays an
+  /// already-cached seq. Drives the protocol's gap-recovery BlockRequests.
+  std::vector<BlockSeq> missing_before(BlockSeq incoming, std::size_t limit) const;
 
   /// All cached blocks, oldest first.
   const std::deque<Block>& blocks() const { return blocks_; }

@@ -1,0 +1,100 @@
+// Fault-injection profile for the simulated V2X medium.
+//
+// The paper evaluates NWADE under an idealized channel (fixed 30 ms latency,
+// at most uniform random loss). Real V2X stacks live or die on channel
+// imperfections instead: loss arrives in bursts (shadowing, congestion),
+// latency jitters (which reorders packets), duplicates appear (MAC-layer
+// retransmissions), individual links fail (antenna masking, interference),
+// and whole nodes go dark (crashes, reboots). `FaultProfile` models each of
+// these so the chaos suite can sweep them; docs/FAULT_MODEL.md describes the
+// semantics and the parameter ranges the benches use.
+//
+// Every knob defaults to "off", and the network consumes randomness for a
+// feature only when that feature is enabled, so a zero-fault profile leaves
+// existing runs bit-for-bit identical to the pre-fault-layer behaviour.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/types.h"
+
+namespace nwade::net {
+
+/// Per-link drop rule: packets matching (from, to, kind) during the active
+/// window are dropped with `drop_probability`. Invalid (zero) node ids act as
+/// wildcards, as does an empty kind. Rules model targeted failures — e.g.
+/// "this vehicle never hears the IM's block broadcasts".
+struct LinkRule {
+  NodeId from{};                 ///< sender filter; 0 = any sender
+  NodeId to{};                   ///< receiver filter; 0 = any receiver
+  std::string kind;              ///< message-kind filter; empty = any kind
+  double drop_probability{1.0};  ///< drop chance for matching packets
+  Tick active_from{0};
+  Tick active_until{kTickMax};
+};
+
+/// Scheduled node outage: during [from, until) the node's radio is dark — it
+/// neither emits nor receives. An IM outage additionally drives the IM's
+/// crash/restart cycle (the World schedules ImNode::crash/restart from it).
+struct Outage {
+  NodeId node{};
+  Tick from{0};
+  Tick until{0};
+};
+
+/// Channel fault model. All features default to disabled.
+struct FaultProfile {
+  // --- Gilbert–Elliott two-state burst loss --------------------------------
+  // A per-packet Markov chain alternates between a Good and a Bad state;
+  // packets are lost with `ge_loss_good` / `ge_loss_bad` respectively. The
+  // stationary bad-state share is p/(p+r) with p = good->bad, r = bad->good,
+  // so mean loss = ge_loss_bad * p/(p+r) (for ge_loss_good = 0) and mean
+  // burst length = 1/r packets. Enabled when ge_p_good_to_bad > 0.
+  double ge_p_good_to_bad{0.0};
+  double ge_p_bad_to_good{0.25};
+  double ge_loss_good{0.0};
+  double ge_loss_bad{1.0};
+
+  /// Per-packet latency jitter: a uniform draw in [0, jitter_ms] is added to
+  /// the base propagation latency. Jitter naturally produces reordering once
+  /// it exceeds the inter-send spacing.
+  Duration jitter_ms{0};
+
+  /// Probability that a packet is delivered twice (independent jitter per
+  /// copy). Models MAC-level retransmission after a lost ACK.
+  double duplicate_probability{0.0};
+
+  /// Targeted per-link drop rules (see LinkRule).
+  std::vector<LinkRule> link_rules;
+
+  /// Scheduled node outages (see Outage).
+  std::vector<Outage> outages;
+
+  bool burst_loss_enabled() const { return ge_p_good_to_bad > 0.0; }
+  bool any_enabled() const {
+    return burst_loss_enabled() || jitter_ms > 0 || duplicate_probability > 0 ||
+           !link_rules.empty() || !outages.empty();
+  }
+
+  /// True when `node`'s radio is dark at time `t`.
+  bool node_down(NodeId node, Tick t) const {
+    for (const Outage& o : outages) {
+      if (o.node == node && t >= o.from && t < o.until) return true;
+    }
+    return false;
+  }
+};
+
+/// Convenience: a Gilbert–Elliott parameterization hitting a target mean loss
+/// rate with the given mean burst length (in packets).
+inline FaultProfile burst_loss_profile(double mean_loss, double mean_burst_len) {
+  FaultProfile f;
+  f.ge_p_bad_to_good = 1.0 / mean_burst_len;
+  // stationary bad share = p/(p+r) = mean_loss  =>  p = r * loss/(1-loss)
+  f.ge_p_good_to_bad = f.ge_p_bad_to_good * mean_loss / (1.0 - mean_loss);
+  f.ge_loss_bad = 1.0;
+  return f;
+}
+
+}  // namespace nwade::net

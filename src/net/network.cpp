@@ -5,7 +5,7 @@
 namespace nwade::net {
 
 Network::Network(EventQueue& queue, SimClock& clock, NetworkConfig config)
-    : queue_(queue), clock_(clock), config_(config), rng_(config.seed) {}
+    : queue_(queue), clock_(clock), config_(std::move(config)), rng_(config_.seed) {}
 
 void Network::add_node(Node* node) {
   assert(node != nullptr);
@@ -22,33 +22,102 @@ bool Network::in_range(NodeId a, NodeId b) const {
          config_.comm_radius_m;
 }
 
-void Network::deliver_later(Envelope env) {
-  stats_.packets_sent++;
-  stats_.bytes_sent += env.msg->wire_size();
-  stats_.packets_by_kind[env.msg->kind()]++;
+void Network::count_drop(const Envelope& env) {
+  stats_.dropped_by_kind[env.msg->kind()]++;
+}
 
+bool Network::packet_lost(const Envelope& env) {
   if (config_.loss_probability > 0 && rng_.chance(config_.loss_probability)) {
-    stats_.packets_dropped++;
-    return;
+    return true;
   }
-  const Tick arrival = clock_.now() + config_.latency_ms;
-  queue_.schedule_at(arrival, [this, env = std::move(env)]() {
+  const FaultProfile& fault = config_.fault;
+  if (fault.burst_loss_enabled()) {
+    // Advance the Gilbert–Elliott chain one step per packet copy, then apply
+    // the state's loss probability.
+    if (ge_bad_) {
+      if (rng_.chance(fault.ge_p_bad_to_good)) ge_bad_ = false;
+    } else {
+      if (rng_.chance(fault.ge_p_good_to_bad)) ge_bad_ = true;
+    }
+    const double p = ge_bad_ ? fault.ge_loss_bad : fault.ge_loss_good;
+    if (p > 0 && rng_.chance(p)) return true;
+  }
+  for (const LinkRule& rule : fault.link_rules) {
+    const Tick now = clock_.now();
+    if (now < rule.active_from || now >= rule.active_until) continue;
+    if (rule.from.valid() && rule.from != env.from) continue;
+    if (rule.to.valid() && rule.to != env.to) continue;
+    if (!rule.kind.empty() && rule.kind != env.msg->kind()) continue;
+    if (rng_.chance(rule.drop_probability)) return true;
+  }
+  return false;
+}
+
+void Network::schedule_delivery(const Envelope& env, Tick arrival) {
+  queue_.schedule_at(arrival, [this, env]() {
     // The receiver may have left the intersection (deregistered) in flight.
     const auto it = nodes_.find(env.to);
     if (it == nodes_.end()) return;
+    if (config_.fault.node_down(env.to, clock_.now())) {
+      stats_.packets_lost_outage++;
+      count_drop(env);
+      return;
+    }
+    // Jitter lets a receiver drift out of range while the packet is in
+    // flight; range is therefore re-checked against the emission origin at
+    // delivery time, not only at send time.
+    if (it->second->position().distance_to(env.origin) > config_.comm_radius_m) {
+      stats_.packets_out_of_range++;
+      return;
+    }
     stats_.packets_delivered++;
     it->second->on_message(env);
   });
 }
 
+void Network::deliver_later(Envelope env) {
+  const FaultProfile& fault = config_.fault;
+  if (fault.node_down(env.from, clock_.now())) {
+    // A dark sender emits nothing; the copy never reaches the medium.
+    stats_.packets_lost_outage++;
+    count_drop(env);
+    return;
+  }
+  stats_.packets_sent++;
+  stats_.bytes_sent += env.msg->wire_size();
+  stats_.packets_by_kind[env.msg->kind()]++;
+  stats_.bytes_by_kind[env.msg->kind()] += env.msg->wire_size();
+
+  if (packet_lost(env)) {
+    stats_.packets_dropped++;
+    count_drop(env);
+    return;
+  }
+  // Randomness is only consumed when a feature is on, so zero-fault profiles
+  // reproduce pre-fault-layer runs bit for bit.
+  Tick arrival = clock_.now() + config_.latency_ms;
+  if (fault.jitter_ms > 0) arrival += rng_.uniform_int(0, fault.jitter_ms);
+  schedule_delivery(env, arrival);
+
+  if (fault.duplicate_probability > 0 && rng_.chance(fault.duplicate_probability)) {
+    stats_.packets_duplicated++;
+    Tick dup_arrival = clock_.now() + config_.latency_ms;
+    if (fault.jitter_ms > 0) dup_arrival += rng_.uniform_int(0, fault.jitter_ms);
+    schedule_delivery(env, dup_arrival);
+  }
+}
+
 void Network::unicast(NodeId from, NodeId to, MessagePtr msg) {
   assert(msg != nullptr);
-  if (!nodes_.contains(from) || !nodes_.contains(to)) return;
+  const auto sender = nodes_.find(from);
+  if (sender == nodes_.end() || !nodes_.contains(to)) return;
   if (!in_range(from, to)) {
     stats_.packets_out_of_range++;
     return;
   }
-  deliver_later(Envelope{from, to, /*broadcast=*/false, clock_.now(), std::move(msg)});
+  const geom::Vec2 origin = sender->second->position();
+  deliver_later(Envelope{from, to, /*broadcast=*/false, clock_.now(),
+                         std::move(msg), origin});
 }
 
 void Network::broadcast(NodeId from, MessagePtr msg) {
@@ -58,8 +127,11 @@ void Network::broadcast(NodeId from, MessagePtr msg) {
   const geom::Vec2 origin = sender->second->position();
   for (const auto& [id, node] : nodes_) {
     if (id == from) continue;
-    if (node->position().distance_to(origin) > config_.comm_radius_m) continue;
-    deliver_later(Envelope{from, id, /*broadcast=*/true, clock_.now(), msg});
+    if (node->position().distance_to(origin) > config_.comm_radius_m) {
+      stats_.packets_out_of_range++;  // same accounting as unicast
+      continue;
+    }
+    deliver_later(Envelope{from, id, /*broadcast=*/true, clock_.now(), msg, origin});
   }
 }
 

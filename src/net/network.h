@@ -3,7 +3,10 @@
 // Models the paper's communication assumptions directly: a fixed propagation
 // latency (default 30 ms), a maximum communication radius (default 1500 ft =
 // 457 m), optional random packet loss, and per-message-kind packet accounting
-// (the data behind Fig. 7's network-load experiment).
+// (the data behind Fig. 7's network-load experiment). On top of that sits an
+// optional fault-injection layer (net/fault.h): bursty Gilbert–Elliott loss,
+// latency jitter (reordering), duplication, per-link drop rules, and node
+// outages — all off by default.
 #pragma once
 
 #include <memory>
@@ -12,6 +15,7 @@
 
 #include "geom/vec2.h"
 #include "net/clock.h"
+#include "net/fault.h"
 #include "util/rng.h"
 #include "util/types.h"
 
@@ -38,6 +42,9 @@ struct Envelope {
   bool broadcast{false};
   Tick sent_at{0};
   MessagePtr msg;
+  /// Sender position at emission time; the delivery-time range check measures
+  /// the receiver's distance from here (last for aggregate-init compatibility).
+  geom::Vec2 origin{};
 };
 
 /// A network endpoint (vehicle or intersection manager).
@@ -54,18 +61,29 @@ class Node {
 struct NetworkConfig {
   Duration latency_ms{30};
   double comm_radius_m{feet_to_meters(1500.0)};
+  /// Uniform (memoryless) per-packet loss; the paper's original loss knob.
+  /// For bursty loss, jitter, duplication, link rules, and outages see
+  /// `fault` (docs/FAULT_MODEL.md) — both layers compose.
   double loss_probability{0.0};
   std::uint64_t seed{1};
+  /// Fault-injection profile; all features default to off.
+  FaultProfile fault;
 };
 
 /// Cumulative traffic statistics; one packet = one (sender, receiver) copy.
 struct NetworkStats {
   std::uint64_t packets_sent{0};      ///< receiver copies handed to the medium
   std::uint64_t packets_delivered{0};
-  std::uint64_t packets_dropped{0};   ///< lost to random loss
-  std::uint64_t packets_out_of_range{0};
+  std::uint64_t packets_dropped{0};   ///< lost to loss models or link rules
+  std::uint64_t packets_out_of_range{0};  ///< at send or at delivery time
+  std::uint64_t packets_duplicated{0};    ///< extra copies injected
+  std::uint64_t packets_lost_outage{0};   ///< sender or receiver was dark
   std::uint64_t bytes_sent{0};
   std::unordered_map<std::string, std::uint64_t> packets_by_kind;
+  std::unordered_map<std::string, std::uint64_t> bytes_by_kind;
+  /// Lost copies per kind (loss models, link rules, and outages combined);
+  /// lets the fault benches attribute which message classes the channel eats.
+  std::unordered_map<std::string, std::uint64_t> dropped_by_kind;
 };
 
 /// Simulated broadcast medium with latency, radius, and loss.
@@ -92,6 +110,11 @@ class Network {
  private:
   void deliver_later(Envelope env);
   bool in_range(NodeId a, NodeId b) const;
+  /// One loss decision for a packet copy: uniform loss, then the
+  /// Gilbert–Elliott chain (advanced one step per copy), then link rules.
+  bool packet_lost(const Envelope& env);
+  void count_drop(const Envelope& env);
+  void schedule_delivery(const Envelope& env, Tick arrival);
 
   EventQueue& queue_;
   SimClock& clock_;
@@ -99,6 +122,7 @@ class Network {
   Rng rng_;
   std::unordered_map<NodeId, Node*> nodes_;
   NetworkStats stats_;
+  bool ge_bad_{false};  ///< Gilbert–Elliott channel state
 };
 
 }  // namespace nwade::net

@@ -44,6 +44,30 @@ struct NwadeConfig {
   /// false = the NWADE layer is off (plain AIM): vehicles adopt plans
   /// without verification and do not watch. Used for overhead comparisons.
   bool security_enabled{true};
+
+  // --- protocol robustness under channel faults (docs/FAULT_MODEL.md) -------
+  /// Plan-request retransmission: the first retry fires two processing
+  /// windows after spawn, then the interval doubles per attempt from
+  /// `plan_request_backoff_ms` up to `plan_request_backoff_cap_ms`.
+  Duration plan_request_backoff_ms{1000};
+  Duration plan_request_backoff_cap_ms{8000};
+  /// After this many unanswered retransmissions the vehicle gives up on the
+  /// IM and enters degraded mode: it stops before the conflict zone and
+  /// crosses only when its own sensors show the box clear. An unreachable IM
+  /// thus degrades throughput, never safety.
+  int plan_request_max_retries{5};
+  /// Degraded-mode speeds: cautious approach toward the stop line, and the
+  /// sensor-gated crossing speed (>= 2 m/s so a live IM's perception tracks
+  /// the crossing vehicle as unmanaged traffic and schedules around it).
+  double degraded_approach_speed_mps{6.0};
+  double degraded_cross_speed_mps{8.0};
+  /// Safety margin added to the degraded box-clear test: every sensed vehicle
+  /// must be at least this much further from the conflict area (in time at
+  /// its current speed) than our own projected time to clear it.
+  Duration degraded_clear_margin_ms{2000};
+  /// Gap recovery: at most this many missing blocks are re-requested per
+  /// detected block-sequence gap (the rest is abandoned to the resync).
+  int gap_request_limit{4};
 };
 
 /// One row of Table I. `plan_violations` malicious vehicles physically break

@@ -50,6 +50,56 @@ void ImNode::start() {
   });
 }
 
+void ImNode::crash(Tick now) {
+  if (down_) return;
+  down_ = true;
+  // Volatile state is lost; the signed block log (seq_, prev_hash_,
+  // recent_blocks_) models durable storage and survives the restart.
+  pending_requests_.clear();
+  active_plans_.clear();
+  rounds_.clear();
+  round_by_suspect_.clear();
+  unmanaged_ids_.clear();
+  parked_since_.clear();
+  courtesy_retry_at_.clear();
+  courtesy_until_ = 0;
+  ever_planned_.clear();
+  evacuation_suspect_ = VehicleId{};
+  suspect_stopped_checks_ = 0;
+  set_state(ImState::kStandby);
+  ctx_.metrics->im_crashes++;
+  NWADE_LOG(kInfo) << "IM crashed at t=" << now;
+}
+
+void ImNode::restart(Tick now) {
+  if (!down_) return;
+  down_ = false;
+  ctx_.metrics->im_restarts++;
+  // Rebuild the plan table from the durable chain: newest plan per vehicle,
+  // skipping perception-derived virtual plans (the next window re-tracks any
+  // legacy vehicle still in range) and vehicles that already left.
+  for (const chain::Block& block : recent_blocks_) {
+    for (const aim::TravelPlan& plan : block.plans) {
+      if (plan.unmanaged) continue;
+      ever_planned_.insert(plan.vehicle);
+      const auto it = active_plans_.find(plan.vehicle);
+      if (it == active_plans_.end() || it->second.issued_at <= plan.issued_at) {
+        active_plans_[plan.vehicle] = plan;
+      }
+    }
+    for (VehicleId revoked : block.revoked) confirmed_suspects_.insert(revoked);
+  }
+  prune_exited_plans(now);
+  // Scheduler reservations for the recovered plans were also lost; re-commit
+  // them so post-restart scheduling cannot double-book an occupied zone.
+  for (const auto& [vid, plan] : active_plans_) {
+    scheduler_.reserve_virtual(plan);
+  }
+  NWADE_LOG(kInfo) << "IM restarted at t=" << now << "; recovered "
+                   << active_plans_.size() << " active plans from "
+                   << recent_blocks_.size() << " durable blocks";
+}
+
 bool ImNode::silenced(Tick now) const {
   return (attack_.mode == ImAttackMode::kSilence ||
           attack_.mode == ImAttackMode::kConflictingPlansAndSilence) &&
@@ -60,6 +110,7 @@ bool ImNode::silenced(Tick now) const {
 
 void ImNode::process_window() {
   const Tick now = ctx_.clock->now();
+  if (down_) return;  // crashed: windows tick but nothing runs
   if (state_ == ImState::kEvacuation) {
     check_evacuation_progress();
     return;
@@ -70,18 +121,25 @@ void ImNode::process_window() {
   scheduler_.release_before(now - 60'000);
 
   std::vector<aim::TravelPlan> virtual_plans = track_unmanaged(now);
+  // Courtesy gap active: requests stay pending (deduplicated on arrival) and
+  // are scheduled once the hold expires. The block published below (possibly
+  // empty) doubles as a liveness heartbeat so the waiting requesters keep
+  // retrying instead of falling back to degraded mode.
+  const bool defer_issuance = now < courtesy_until_;
   if (pending_requests_.empty() && virtual_plans.empty()) return;
 
   const auto t0 = std::chrono::steady_clock::now();
   set_state(ImState::kScheduling);
   std::vector<aim::TravelPlan> plans = std::move(virtual_plans);
-  plans.reserve(plans.size() + pending_requests_.size());
-  for (const PlanRequest& req : pending_requests_) {
-    ever_planned_.insert(req.vehicle);
-    plans.push_back(scheduler_.schedule(req.vehicle, req.route_id, req.traits, now,
-                                        req.status.speed_mps));
+  if (!defer_issuance) {
+    plans.reserve(plans.size() + pending_requests_.size());
+    for (const PlanRequest& req : pending_requests_) {
+      ever_planned_.insert(req.vehicle);
+      plans.push_back(scheduler_.schedule(req.vehicle, req.route_id, req.traits,
+                                          now, req.status.speed_mps));
+    }
+    pending_requests_.clear();
   }
-  pending_requests_.clear();
 
   // Compromised IM: warp one plan onto a colliding trajectory.
   const bool attack_window =
@@ -148,6 +206,42 @@ std::vector<aim::TravelPlan> ImNode::track_unmanaged(Tick now) {
     }
     if (best_route < 0) continue;
 
+    // A tracked vehicle parked short of the core is yielding (a degraded
+    // vehicle waiting for the box to clear, a stalled legacy car at its stop
+    // line) — not crossing. The speed floor below would otherwise predict a
+    // minute-long phantom core occupancy on every refresh and churn the
+    // whole managed fleet through mid-flight reschedules around a crossing
+    // that is not happening. Keep its identity; prediction resumes the
+    // moment it moves. A vehicle stopped *inside* the core still reserves:
+    // its occupancy is physical fact.
+    const auto& route = ctx_.intersection->route(best_route);
+    if (obs.status.speed_mps < 2.0 && best_s < route.core_begin - 1.0) {
+      // A vehicle stuck at its stop line for several seconds means the
+      // traffic never offers a crossable gap: hold new plan issuance so the
+      // junction drains and its sensor-gated crossing can commit. The hold
+      // must outlast the in-flight plans issued just before it (they keep
+      // crossing the box for ~20 s), and it re-arms after a recovery window
+      // in case the vehicle still could not commit.
+      const Tick since = parked_since_.try_emplace(obs.id, now).first->second;
+      // Its last constant-speed prediction is falsified (it stopped): free
+      // the reserved zones so they do not haunt the schedule.
+      scheduler_.release_vehicle(obs.id);
+      if (now - since >= 8'000 && best_s > route.core_begin - 20.0) {
+        Tick& retry_at = courtesy_retry_at_[obs.id];
+        if (now >= retry_at) {
+          retry_at = now + 45'000;
+          courtesy_until_ = std::max(courtesy_until_, now + 30'000);
+          ctx_.metrics->im_courtesy_gaps++;
+          NWADE_LOG(kInfo) << "IM holds issuance for parked vehicle "
+                           << obs.id.value << " (courtesy gap)";
+        }
+      }
+      continue;
+    }
+    // Moving again: a later stop starts a fresh parking episode.
+    parked_since_.erase(obs.id);
+    courtesy_retry_at_.erase(obs.id);
+
     aim::TravelPlan plan;
     plan.vehicle = obs.id;
     plan.route_id = best_route;
@@ -161,13 +255,15 @@ std::vector<aim::TravelPlan> ImNode::track_unmanaged(Tick now) {
     // capacity. The floor only guards the division for a parked vehicle.
     const double v = std::max(obs.status.speed_mps, 1.0);
     plan.segments = {aim::PlanSegment{now, best_s, v}};
-    const auto& route = ctx_.intersection->route(best_route);
     plan.core_entry =
         best_s < route.core_begin
             ? now + seconds_to_ticks((route.core_begin - best_s) / v)
             : now;
     plan.core_exit = now + seconds_to_ticks(
                                std::max(0.0, route.core_end - best_s) / v);
+    // This prediction supersedes last window's: release the old claims first
+    // or every refresh piles another phantom interval onto the tables.
+    scheduler_.release_vehicle(obs.id);
     scheduler_.reserve_virtual(plan);
     active_plans_[obs.id] = plan;
     unmanaged_ids_.insert(obs.id);
@@ -199,6 +295,9 @@ std::vector<aim::TravelPlan> ImNode::track_unmanaged(Tick now) {
   for (auto it = unmanaged_ids_.begin(); it != unmanaged_ids_.end();) {
     if (!ctx_.sensors->observe(*it)) {
       active_plans_.erase(*it);
+      parked_since_.erase(*it);
+      courtesy_retry_at_.erase(*it);
+      scheduler_.release_vehicle(*it);
       it = unmanaged_ids_.erase(it);
     } else {
       ++it;
@@ -257,6 +356,7 @@ bool ImNode::try_inject_conflict(std::vector<aim::TravelPlan>& plans, Tick now) 
 // --- message dispatch --------------------------------------------------------------
 
 void ImNode::on_message(const net::Envelope& env) {
+  if (down_) return;  // belt-and-braces; outage links are dropped in the net
   const Tick now = ctx_.clock->now();
   if (const auto* pr = dynamic_cast<const PlanRequest*>(env.msg.get())) {
     handle_plan_request(*pr);

@@ -86,6 +86,19 @@ class ImNode final : public net::Node {
   /// Schedules the periodic processing-window events; call once at t=0.
   void start();
 
+  // --- fault injection (docs/FAULT_MODEL.md) --------------------------------
+  /// Simulated crash: drops all volatile state (pending requests, verification
+  /// rounds, the active-plan table). The signed chain (`recent_blocks_`, seq,
+  /// prev hash) models durable storage and survives. While down the node
+  /// ignores messages and skips processing windows; the network additionally
+  /// blackholes its traffic when the crash comes from a FaultProfile outage.
+  void crash(Tick now);
+  /// Recovery: rebuilds `active_plans_` (newest plan per vehicle, exited ones
+  /// pruned) and the managed-vehicle roster from the durable block log, then
+  /// resumes normal window processing.
+  void restart(Tick now);
+  bool down() const { return down_; }
+
   // --- introspection --------------------------------------------------------
   ImState state() const { return state_; }
   std::size_t active_plan_count() const { return active_plans_.size(); }
@@ -158,9 +171,18 @@ class ImNode final : public net::Node {
   std::map<VehicleId, int> reporter_strikes_;
 
   std::set<VehicleId> unmanaged_ids_;
+  /// Courtesy-gap state for tracked vehicles parked at their stop line (see
+  /// track_unmanaged): start of the current parking episode, the earliest
+  /// time each vehicle may be granted another hold (re-arms after a recovery
+  /// window), and the deadline until which new plan issuance is deferred so
+  /// the junction drains.
+  std::map<VehicleId, Tick> parked_since_;
+  std::map<VehicleId, Tick> courtesy_retry_at_;
+  Tick courtesy_until_{0};
   /// Every vehicle that ever requested a plan: a stale managed vehicle must
   /// never be reclassified as a legacy vehicle.
   std::set<VehicleId> ever_planned_;
+  bool down_{false};
   VehicleId evacuation_suspect_;
   int suspect_stopped_checks_{0};
   std::set<VehicleId> confirmed_suspects_;

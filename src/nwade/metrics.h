@@ -44,6 +44,15 @@ struct Metrics {
   int blocks_published{0};
   int block_verification_failures{0};
 
+  // --- fault tolerance ------------------------------------------------------
+  int plan_request_retries{0};   ///< retransmitted PlanRequests (backoff path)
+  int gap_block_requests{0};     ///< by-seq BlockRequests from gap recovery
+  int degraded_entries{0};       ///< vehicles that gave up on the IM
+  int degraded_crossings{0};     ///< degraded vehicles that exited safely
+  int im_crashes{0};
+  int im_restarts{0};
+  int im_courtesy_gaps{0};       ///< issuance holds for a stuck parked vehicle
+
   // --- blockchain compute cost (wall clock, microseconds) -------------------
   std::vector<double> im_package_us;       ///< scheduling + packaging per window
   std::vector<double> vehicle_verify_us;   ///< full Alg.-1 verification per block

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
 #include <chrono>
 #include <cstdlib>
 
@@ -29,6 +30,7 @@ const char* vehicle_state_name(VehicleState s) {
     case VehicleState::kAwaitingResponse: return "awaiting_response";
     case VehicleState::kGlobalVerification: return "global_verification";
     case VehicleState::kSelfEvacuation: return "self_evacuation";
+    case VehicleState::kDegraded: return "degraded";
     case VehicleState::kExited: return "exited";
   }
   return "?";
@@ -65,13 +67,45 @@ traffic::VehicleStatus VehicleNode::ground_truth() const {
 }
 
 void VehicleNode::start() {
+  send_plan_request();
+  // The first retransmission fires once the IM had a full processing window
+  // plus dissemination time to answer; later retries back off exponentially.
+  next_plan_request_at_ = spawn_time_ + 2 * ctx_.config->processing_window_ms;
+  set_state(VehicleState::kPreparation);
+}
+
+void VehicleNode::send_plan_request() {
   auto req = std::make_shared<PlanRequest>();
   req->vehicle = id_;
   req->route_id = route_id_;
   req->traits = traits_;
   req->status = ground_truth();
   ctx_.network->unicast(node_id(), kImNodeId, std::move(req));
-  set_state(VehicleState::kPreparation);
+}
+
+void VehicleNode::retry_plan_request(Tick now) {
+  if (plan_retries_ >= ctx_.config->plan_request_max_retries) {
+    // Degraded mode is for an IM that looks dead from here. If block
+    // broadcasts are still reaching us, the IM is alive but withholding
+    // issuance (e.g. a courtesy gap draining the junction) — keep polling at
+    // the capped rate instead of falling back to sensors.
+    const bool chain_alive =
+        last_block_seen_at_ > 0 &&
+        now - last_block_seen_at_ <= ctx_.config->plan_request_backoff_cap_ms;
+    if (state_ == VehicleState::kPreparation && !chain_alive) enter_degraded(now);
+    // Already degraded at the spawn point: keep polling at the capped rate in
+    // case the IM comes back before we commit to crossing on sensors alone.
+    send_plan_request();
+    next_plan_request_at_ = now + ctx_.config->plan_request_backoff_cap_ms;
+    return;
+  }
+  ++plan_retries_;
+  ctx_.metrics->plan_request_retries++;
+  send_plan_request();
+  Duration backoff = ctx_.config->plan_request_backoff_ms;
+  for (int i = 1; i < plan_retries_; ++i) backoff *= 2;
+  backoff = std::min(backoff, ctx_.config->plan_request_backoff_cap_ms);
+  next_plan_request_at_ = now + backoff;
 }
 
 void VehicleNode::set_state(VehicleState next) { state_ = next; }
@@ -119,6 +153,8 @@ void VehicleNode::step(Tick now, Duration dt_ms) {
       v_ = std::min(v_ + limits.max_accel_mps2 * dt, limits.speed_limit_mps);
     }
     s_ += v_ * dt;
+  } else if (state_ == VehicleState::kDegraded) {
+    step_degraded(now, dt, route);
   } else if (plan_) {
     s_ = plan_->s_at(now);
     v_ = plan_->v_at(now);
@@ -126,6 +162,7 @@ void VehicleNode::step(Tick now, Duration dt_ms) {
   // else: preparation — hold at the communication-zone edge.
 
   if (s_ >= route.path.length() - 0.05) {
+    if (state_ == VehicleState::kDegraded) ctx_.metrics->degraded_crossings++;
     set_state(VehicleState::kExited);
     ctx_.metrics->vehicles_exited++;
     return;
@@ -159,17 +196,15 @@ void VehicleNode::step(Tick now, Duration dt_ms) {
     }
   }
 
-  // Plan never arrived (lost packet): ask again rather than wait forever.
-  if (state_ == VehicleState::kPreparation && !plan_ &&
-      now - spawn_time_ >= 2 * ctx_.config->processing_window_ms &&
-      now - last_plan_request_at_ >= 2'500) {
-    last_plan_request_at_ = now;
-    auto req = std::make_shared<PlanRequest>();
-    req->vehicle = id_;
-    req->route_id = route_id_;
-    req->traits = traits_;
-    req->status = ground_truth();
-    ctx_.network->unicast(node_id(), kImNodeId, std::move(req));
+  // Plan never arrived (lost packets or dark IM): retransmit with capped
+  // exponential backoff, then fall back to degraded mode. A degraded vehicle
+  // keeps polling only while it still waits at the spawn point — once it is
+  // moving on sensors alone, a late plan (computed from the spawn point)
+  // would no longer describe it.
+  if (!plan_ && now >= next_plan_request_at_ &&
+      (state_ == VehicleState::kPreparation ||
+       (state_ == VehicleState::kDegraded && s_ < 1.0))) {
+    retry_plan_request(now);
   }
 
   // While self-evacuating, re-broadcast the warning every few seconds so
@@ -187,11 +222,144 @@ void VehicleNode::step(Tick now, Duration dt_ms) {
   }
 }
 
+// --- degraded mode (no plan after all retries) -----------------------------------
+
+void VehicleNode::enter_degraded(Tick now) {
+  if (state_ != VehicleState::kPreparation) return;
+  set_state(VehicleState::kDegraded);
+  degraded_committed_ = false;
+  next_clear_check_at_ = now;
+  // Pick the shoulder side with the most clearance from every other route's
+  // path at the hold point: near the junction mouth lanes converge, and a
+  // fixed side can park the vehicle squarely in an adjacent route's lane.
+  const auto& route = ctx_.intersection->route(route_id_);
+  const double hold_s = std::max(route.core_begin - 6.0, 0.0);
+  const geom::Vec2 base = route.path.point_at(hold_s);
+  const geom::Vec2 normal = route.path.tangent_at(hold_s).perp();
+  double best = -1.0;
+  for (double side : {1.0, -1.0}) {
+    const geom::Vec2 cand = base + normal * (3.5 * side);
+    double clearance = std::numeric_limits<double>::max();
+    for (const traffic::Route& r : ctx_.intersection->routes()) {
+      if (r.id == route_id_) continue;
+      const auto [dist, s_proj] = r.path.project(cand);
+      (void)s_proj;
+      clearance = std::min(clearance, dist);
+    }
+    if (clearance > best) {
+      best = clearance;
+      shoulder_side_ = side;
+    }
+  }
+  ctx_.metrics->degraded_entries++;
+  NWADE_LOG(kInfo) << "vehicle " << id_.value
+                   << " entering degraded mode (no plan after " << plan_retries_
+                   << " retries)";
+}
+
+bool VehicleNode::degraded_box_clear(Tick now) const {
+  (void)now;
+  const auto& route = ctx_.intersection->route(route_id_);
+  // Project our own crossing: from the current position to past the core at
+  // the creep speed, plus the configured safety margin.
+  const double cross_dist = std::max(route.core_end - s_, 0.0) + 5.0;
+  const double time_to_clear_s =
+      cross_dist / std::max(ctx_.config->degraded_cross_speed_mps, 0.5) +
+      static_cast<double>(ctx_.config->degraded_clear_margin_ms) / 1000.0;
+
+  // Sample the conflict-relevant span of our route; any other vehicle that
+  // could reach it before we clear it keeps the box "occupied".
+  std::vector<geom::Vec2> samples;
+  for (double s = route.core_begin; s <= route.core_end; s += 5.0) {
+    samples.push_back(route.path.point_at(s));
+  }
+  samples.push_back(route.path.point_at(route.core_end));
+
+  const double limit_mps = ctx_.intersection->config().limits.speed_limit_mps;
+  const auto observations =
+      ctx_.sensors->sense_around(position(), ctx_.config->sensing_radius_m, id_);
+  for (const Observation& obs : observations) {
+    double dist_to_box = std::numeric_limits<double>::max();
+    geom::Vec2 nearest{};
+    for (const geom::Vec2& p : samples) {
+      const double d = obs.status.position.distance_to(p);
+      if (d < dist_to_box) {
+        dist_to_box = d;
+        nearest = p;
+      }
+    }
+    if (dist_to_box < 8.0) return false;  // already in or at the box
+    // A stopped or slow vehicle this close could launch into the box well
+    // within our crossing window; anything further out needs time to spool up.
+    if (dist_to_box < 20.0) return false;
+    // Closing speed toward the box: vehicles heading away (the exit leg) can
+    // never interfere, no matter how near they pass.
+    const double closing =
+        (std::cos(obs.status.heading_rad) * (nearest.x - obs.status.position.x) +
+         std::sin(obs.status.heading_rad) * (nearest.y - obs.status.position.y)) /
+        dist_to_box * obs.status.speed_mps;
+    if (closing <= 0.5) continue;
+    // Earliest possible arrival: assume the vehicle floors it to the speed
+    // limit immediately (deviators may already exceed it — take the max).
+    const double earliest_s =
+        dist_to_box / std::max(limit_mps, obs.status.speed_mps);
+    if (earliest_s < time_to_clear_s) return false;
+  }
+  return true;
+}
+
+void VehicleNode::step_degraded(Tick now, double dt, const traffic::Route& route) {
+  const auto& limits = ctx_.intersection->config().limits;
+  const double stop_at = route.core_begin - 6.0;
+
+  if (s_ >= route.core_begin || degraded_committed_) {
+    // Committed (or already inside): merge back into the lane and clear the
+    // core at the creep speed, then open up on the exit leg.
+    if (lateral_offset_ > 0) {
+      lateral_offset_ = std::max(lateral_offset_ - 1.2 * dt, 0.0);
+    } else {
+      lateral_offset_ = std::min(lateral_offset_ + 1.2 * dt, 0.0);
+    }
+    const double target = s_ < route.core_end
+                              ? ctx_.config->degraded_cross_speed_mps
+                              : limits.speed_limit_mps;
+    if (v_ < target) {
+      v_ = std::min(v_ + limits.max_accel_mps2 * dt, target);
+    } else {
+      v_ = std::max(v_ - limits.max_decel_mps2 * dt, target);
+    }
+  } else if (s_ + v_ * v_ / (2.0 * limits.max_decel_mps2) + 2.0 >= stop_at) {
+    // Inside braking distance of the stop line: stop and hold until the
+    // sensors show the box clear (checked at a throttled cadence). The wait
+    // happens on the shoulder, like a parked self-evacuee: managed plans
+    // know nothing about an unplanned stationary vehicle, so holding in the
+    // lane would put it in the path of same-route traffic.
+    v_ = std::max(v_ - limits.max_decel_mps2 * dt, 0.0);
+    if (shoulder_side_ > 0) {
+      lateral_offset_ = std::min(lateral_offset_ + 1.0 * dt, 3.5);
+    } else {
+      lateral_offset_ = std::max(lateral_offset_ - 1.0 * dt, -3.5);
+    }
+    if (v_ < 0.3 && now >= next_clear_check_at_) {
+      next_clear_check_at_ = now + 500;
+      if (degraded_box_clear(now)) degraded_committed_ = true;
+    }
+  } else {
+    // Cautious approach toward the stop line.
+    v_ = std::min(v_ + limits.max_accel_mps2 * dt,
+                  ctx_.config->degraded_approach_speed_mps);
+  }
+  s_ += v_ * dt;
+}
+
 // --- neighbourhood watch (Algorithm 2) -------------------------------------------
 
 void VehicleNode::watch(Tick now) {
   if (!ctx_.config->security_enabled) return;
   if (state_ == VehicleState::kPreparation || state_ == VehicleState::kExited) return;
+  // A degraded vehicle never obtained (or kept) chain state to compare
+  // neighbours against; it focuses on its own sensor-gated crossing.
+  if (state_ == VehicleState::kDegraded) return;
   // A self-evacuating vehicle focuses on leaving safely: it has written the
   // IM off, already broadcast its warning, and ignores further chain state,
   // so fresh incident reports from it would only compare against stale plans.
@@ -378,22 +546,27 @@ bool VehicleNode::verify_block(const chain::Block& block, Tick now, std::string*
       case chain::ChainError::kNonMonotonicSeq: {
         const auto* latest = store_.latest();
         if (latest != nullptr && block.seq <= latest->seq) {
-          return true;  // duplicate rebroadcast; harmless
+          return true;  // duplicate / reordered replay; harmless
         }
-        // A gap: this vehicle missed blocks (packet loss or joining
-        // mid-stream). Fetch the missed blocks from the IM — one of them may
-        // carry our own superseding plan — then resync from this block.
-        if (latest != nullptr) {
-          const chain::BlockSeq from = latest->seq + 1;
-          for (chain::BlockSeq seq = from;
-               seq < block.seq && seq < from + 4; ++seq) {
-            auto req = std::make_shared<BlockRequest>();
-            req->requester = id_;
-            req->by_seq = true;
-            req->seq = seq;
-            ctx_.network->unicast(node_id(), kImNodeId, std::move(req));
-          }
+        // A gap: this vehicle missed blocks (burst loss, jitter reordering,
+        // or joining mid-stream). Fetch the missed blocks from the IM — one
+        // of them may carry our own superseding plan — then resync from this
+        // block. Peers answer by-seq BlockRequests too, so gap recovery also
+        // works while the IM is dark (handle_block_request).
+        const auto missing = store_.missing_before(
+            block.seq, static_cast<std::size_t>(ctx_.config->gap_request_limit));
+        for (chain::BlockSeq seq : missing) {
+          auto req = std::make_shared<BlockRequest>();
+          req->requester = id_;
+          req->by_seq = true;
+          req->seq = seq;
+          ctx_.network->unicast(node_id(), kImNodeId, std::move(req));
+          ctx_.metrics->gap_block_requests++;
         }
+        // The resync drops the cached prefix and the plans in it. That is
+        // deliberate: the gap may hide reschedules, so judging neighbours
+        // against the dropped (possibly stale) plans risks false incident
+        // reports — the watch re-requests fresh blocks per neighbour instead.
         store_ = chain::BlockStore(ctx_.config->chain_depth);
         const auto retry = store_.append(block, *ctx_.im_verifier);
         if (retry) break;
@@ -449,13 +622,20 @@ bool VehicleNode::verify_block(const chain::Block& block, Tick now, std::string*
 }
 
 void VehicleNode::handle_block(const chain::Block& block, Tick now) {
+  // Any block receipt proves the IM is up (liveness only — a block never
+  // grants a plan before it passes verification below).
+  last_block_seen_at_ = now;
   // A self-evacuating vehicle has written the IM off; it ignores new blocks.
   if (state_ == VehicleState::kSelfEvacuation) return;
   if (!ctx_.config->security_enabled) {
-    // Plain AIM mode: trust the block wholesale, just adopt our plan.
+    // Plain AIM mode: trust the block wholesale, just adopt our plan. The
+    // issued_at guard keeps a replayed or reordered old block from rolling
+    // the active plan back.
     if (const aim::TravelPlan* mine = block.plan_for(id_)) {
-      plan_ = *mine;
-      if (state_ == VehicleState::kPreparation) set_state(VehicleState::kTraveling);
+      if (!plan_ || plan_->issued_at <= mine->issued_at) {
+        plan_ = *mine;
+        if (state_ == VehicleState::kPreparation) set_state(VehicleState::kTraveling);
+      }
     }
     return;
   }
@@ -489,11 +669,22 @@ void VehicleNode::handle_block(const chain::Block& block, Tick now) {
   for (VehicleId v : block.revoked) confirmed_threats_.insert(v);
 
   // Adopt our own plan if this block carries one (initial, evacuation, or
-  // recovery plans all arrive this way).
+  // recovery plans all arrive this way). A replayed or reordered old block
+  // must never roll an adopted plan back (idempotent by issued_at), and a
+  // degraded vehicle that already left the spawn point on sensors alone
+  // cannot adopt a plan that describes a crossing from the spawn point.
   if (const aim::TravelPlan* mine = block.plan_for(id_)) {
-    if (state_ != VehicleState::kSelfEvacuation) {
-      plan_ = *mine;
-      if (state_ == VehicleState::kPreparation) set_state(VehicleState::kTraveling);
+    if (state_ != VehicleState::kSelfEvacuation &&
+        (!plan_ || plan_->issued_at <= mine->issued_at)) {
+      if (state_ == VehicleState::kDegraded) {
+        if (std::abs(mine->s_at(now) - s_) <= 15.0) {
+          plan_ = *mine;
+          set_state(VehicleState::kTraveling);
+        }
+      } else {
+        plan_ = *mine;
+        if (state_ == VehicleState::kPreparation) set_state(VehicleState::kTraveling);
+      }
     }
   }
 }
@@ -560,7 +751,12 @@ void VehicleNode::handle_block_response(const BlockResponse& resp, Tick now) {
   // Our own plan may arrive this way when the original broadcast was lost.
   if (const aim::TravelPlan* mine = resp.block->plan_for(id_)) {
     if (!plan_ || plan_->issued_at < mine->issued_at) {
-      if (state_ != VehicleState::kSelfEvacuation) {
+      if (state_ == VehicleState::kDegraded) {
+        if (std::abs(mine->s_at(now) - s_) <= 15.0) {
+          plan_ = *mine;
+          set_state(VehicleState::kTraveling);
+        }
+      } else if (state_ != VehicleState::kSelfEvacuation) {
         plan_ = *mine;
         if (state_ == VehicleState::kPreparation) {
           set_state(VehicleState::kTraveling);
@@ -573,6 +769,13 @@ void VehicleNode::handle_block_response(const BlockResponse& resp, Tick now) {
 // --- verification votes -------------------------------------------------------------
 
 void VehicleNode::handle_verify_request(const VerifyRequest& req, Tick now) {
+  // A duplicated network can deliver the same round twice; answer once so the
+  // IM's vote tally never double-counts us (it is keyed by responder anyway,
+  // but re-sensing later could flip our answer mid-round).
+  if (!answered_verify_rounds_.insert(req.request_id).second) return;
+  if (answered_verify_rounds_.size() > 256) {
+    answered_verify_rounds_.erase(answered_verify_rounds_.begin());
+  }
   auto resp = std::make_shared<VerifyResponse>();
   resp->request_id = req.request_id;
   resp->responder = id_;

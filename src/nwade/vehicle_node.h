@@ -37,6 +37,7 @@ enum class VehicleState : std::uint8_t {
   kAwaitingResponse,      ///< reported an incident, waiting for the IM
   kGlobalVerification,    ///< evaluating peers' global reports (Algorithm 3)
   kSelfEvacuation,        ///< the IM is untrusted; leaving on its own
+  kDegraded,              ///< no plan after all retries: sensor-gated crossing
   kExited,                ///< left the intersection
 };
 
@@ -104,9 +105,12 @@ class VehicleNode final : public net::Node {
   VehicleState state() const { return state_; }
   bool exited() const { return state_ == VehicleState::kExited; }
   bool self_evacuating() const { return state_ == VehicleState::kSelfEvacuation; }
+  bool degraded() const { return state_ == VehicleState::kDegraded; }
+  int plan_request_retries() const { return plan_retries_; }
   bool is_malicious() const { return attack_.role != VehicleRole::kBenign; }
   double progress_s() const { return s_; }
   double speed_mps() const { return v_; }
+  double lateral_offset_m() const { return lateral_offset_; }
   /// Ground-truth observable status.
   traffic::VehicleStatus ground_truth() const;
   const chain::BlockStore& store() const { return store_; }
@@ -144,6 +148,15 @@ class VehicleNode final : public net::Node {
 
   // Self-evacuation entry point.
   void enter_self_evacuation(GlobalReason reason, VehicleId suspect, Tick now);
+
+  // Plan-request retransmission + degraded mode (fault tolerance).
+  void send_plan_request();
+  void retry_plan_request(Tick now);
+  void enter_degraded(Tick now);
+  void step_degraded(Tick now, double dt, const traffic::Route& route);
+  /// True when our sensors show the conflict area clear for long enough to
+  /// cross it at the degraded creep speed (see docs/FAULT_MODEL.md).
+  bool degraded_box_clear(Tick now) const;
 
   /// Majority threshold adapted to the locally sensed neighbourhood size.
   int adaptive_threshold() const;
@@ -185,7 +198,18 @@ class VehicleNode final : public net::Node {
   Tick awaiting_deadline_{0};
   VehicleId awaiting_suspect_;
   int awaiting_retries_{0};
-  Tick last_plan_request_at_{0};
+  // Plan-request retransmission state (capped exponential backoff).
+  int plan_retries_{0};
+  Tick next_plan_request_at_{0};
+  /// Last time any block broadcast reached us: while the chain is alive we
+  /// never fall back to degraded mode, no matter how many retries failed.
+  Tick last_block_seen_at_{0};
+  // Degraded-mode state.
+  bool degraded_committed_{false};  ///< cleared to cross; no more re-checks
+  Tick next_clear_check_at_{0};
+  double shoulder_side_{1.0};  ///< which side of the lane to hold on (+-1)
+  // Verify-request rounds already answered (idempotency under duplication).
+  std::set<std::uint64_t> answered_verify_rounds_;
   // Shorter than the IM-response timeout so a watcher that reported a
   // self-evacuee always hears the announcement before giving up on the IM.
   static constexpr Duration kBeaconPeriodMs = 2000;

@@ -61,6 +61,17 @@ World::World(ScenarioConfig config)
   network_->add_node(im_.get());
   im_->start();
 
+  // A fault-profile outage on the IM node is a process crash, not just a dark
+  // radio: drive the crash/restart cycle so volatile state is really lost and
+  // rebuilt from the durable block log on recovery.
+  for (const net::Outage& outage : config_.network.fault.outages) {
+    if (outage.node != kImNodeId) continue;
+    queue_.schedule_at(outage.from, [this] { im_->crash(clock_.now()); });
+    if (outage.until < kTickMax) {
+      queue_.schedule_at(outage.until, [this] { im_->restart(clock_.now()); });
+    }
+  }
+
   // Schedule spawns. A configurable fraction of arrivals are legacy
   // vehicles (mixed-traffic extension); attacker roles always go to managed
   // vehicles, so role-assigned indices stay managed.
@@ -230,15 +241,31 @@ void World::step_world(Tick now) {
     struct Probe {
       geom::Vec2 pos;
       double s;
+      int route{-1};
+      bool parked_off_lane{false};
     };
     std::vector<Probe> active;
     for (const auto& [id, v] : vehicles_) {
-      if (!v->exited() && v->has_plan()) {
-        active.push_back(Probe{v->position(), v->progress_s()});
+      // Degraded vehicles (moving without a plan) are audited too: their
+      // sensor-gated crossing must not collide with managed traffic.
+      if (!v->exited() && (v->has_plan() || v->progress_s() > 0.5)) {
+        // A stationary vehicle pulled fully onto the shoulder outside the
+        // core (a waiting degraded vehicle, a parked self-evacuee) is out
+        // of traffic: near the junction mouth the shoulder inevitably runs
+        // close to neighbouring lanes, so other routes' traffic may pass it
+        // within lane width. Same-route traffic and anything inside the
+        // core still audit against it at full strictness.
+        const auto& route = intersection_.route(v->route_id());
+        const bool parked_off =
+            v->speed_mps() < 0.5 && std::abs(v->lateral_offset_m()) >= 3.0 &&
+            (v->progress_s() < route.core_begin ||
+             v->progress_s() > route.core_end);
+        active.push_back(
+            Probe{v->position(), v->progress_s(), v->route_id(), parked_off});
       }
     }
     for (const auto& [id, l] : legacy_) {
-      if (!l.exited) active.push_back(Probe{legacy_position(l), l.s});
+      if (!l.exited) active.push_back(Probe{legacy_position(l), l.s, l.route_id});
     }
     for (std::size_t i = 0; i < active.size(); ++i) {
       for (std::size_t j = i + 1; j < active.size(); ++j) {
@@ -247,6 +274,10 @@ void World::step_world(Tick now) {
         // window depart together from there and separate as their assigned
         // speeds diverge. Only positions past staging are audited.
         if (active[i].s < 30.0 && active[j].s < 30.0) continue;
+        if ((active[i].parked_off_lane || active[j].parked_off_lane) &&
+            active[i].route != active[j].route) {
+          continue;
+        }
         if (active[i].pos.distance_to(active[j].pos) < 1.5) {
           ++gap_violations_;
         }
@@ -292,7 +323,11 @@ std::vector<protocol::Observation> World::sense_around(geom::Vec2 center,
                                                        VehicleId exclude) const {
   std::vector<protocol::Observation> out;
   for (const auto& [id, v] : vehicles_) {
-    if (id == exclude || v->exited() || !v->has_plan()) continue;
+    if (id == exclude || v->exited()) continue;
+    // Vehicles still staged at the zone edge (no plan, not yet moving) are
+    // invisible; a plan-less vehicle that moves — degraded mode — must be
+    // seen so watchers and the IM's unmanaged tracking can cover it.
+    if (!v->has_plan() && v->progress_s() <= 0.5) continue;
     const geom::Vec2 pos = v->position();
     if (pos.distance_to(center) > radius) continue;
     out.push_back(protocol::Observation{id, v->traits(), v->ground_truth()});

@@ -1,0 +1,321 @@
+// Fault-injection layer: burst loss, jitter/reordering, duplication, link
+// rules, outages, and the delivery-time semantics they force on the medium.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "net/network.h"
+
+namespace nwade::net {
+namespace {
+
+struct TestMessage : Message {
+  explicit TestMessage(std::string k = "test", std::size_t size = 100, int s = 0)
+      : kind_(std::move(k)), size_(size), seq(s) {}
+  std::string kind() const override { return kind_; }
+  std::size_t wire_size() const override { return size_; }
+  std::string kind_;
+  std::size_t size_;
+  int seq;
+};
+
+class TestNode : public Node {
+ public:
+  TestNode(NodeId id, geom::Vec2 pos) : id_(id), pos_(pos) {}
+  NodeId node_id() const override { return id_; }
+  geom::Vec2 position() const override { return pos_; }
+  void on_message(const Envelope& env) override { received.push_back(env); }
+
+  void move_to(geom::Vec2 p) { pos_ = p; }
+
+  std::vector<Envelope> received;
+
+ private:
+  NodeId id_;
+  geom::Vec2 pos_;
+};
+
+class FaultInjectionTest : public ::testing::Test {
+ protected:
+  NetworkConfig cfg_;
+  SimClock clock_;
+  EventQueue queue_;
+};
+
+TEST(BurstLossProfile, HelperHitsTargetStationaryLoss) {
+  const FaultProfile f = burst_loss_profile(0.2, 8.0);
+  const double p = f.ge_p_good_to_bad, r = f.ge_p_bad_to_good;
+  EXPECT_NEAR(p / (p + r), 0.2, 1e-9);       // stationary bad share
+  EXPECT_NEAR(1.0 / r, 8.0, 1e-9);           // mean burst length
+  EXPECT_TRUE(f.burst_loss_enabled());
+  EXPECT_TRUE(f.any_enabled());
+  EXPECT_FALSE(FaultProfile{}.any_enabled());
+}
+
+TEST_F(FaultInjectionTest, GilbertElliottLossIsBursty) {
+  cfg_.fault = burst_loss_profile(0.2, 8.0);
+  cfg_.seed = 7;
+  Network net(queue_, clock_, cfg_);
+  TestNode a(NodeId{1}, {0, 0}), b(NodeId{2}, {10, 0});
+  net.add_node(&a);
+  net.add_node(&b);
+  constexpr int kPackets = 4000;
+  for (int i = 0; i < kPackets; ++i) {
+    net.unicast(NodeId{1}, NodeId{2}, std::make_shared<TestMessage>("t", 10, i));
+  }
+  queue_.run_until(1000, clock_);
+
+  const double loss_rate =
+      static_cast<double>(net.stats().packets_dropped) / kPackets;
+  EXPECT_NEAR(loss_rate, 0.2, 0.05);
+
+  // Burstiness: reconstruct the loss pattern from the delivered seq numbers
+  // and measure the mean length of consecutive-loss runs. Uniform loss at the
+  // same rate gives ~1/(1-0.2) = 1.25; the GE profile targets 8.
+  std::vector<bool> delivered(kPackets, false);
+  for (const Envelope& env : b.received) {
+    delivered[static_cast<std::size_t>(
+        static_cast<const TestMessage*>(env.msg.get())->seq)] = true;
+  }
+  int runs = 0, lost = 0;
+  for (int i = 0; i < kPackets; ++i) {
+    if (!delivered[i]) {
+      ++lost;
+      if (i == 0 || delivered[i - 1]) ++runs;
+    }
+  }
+  ASSERT_GT(runs, 0);
+  const double mean_run = static_cast<double>(lost) / runs;
+  EXPECT_GT(mean_run, 3.0);  // far burstier than uniform's 1.25
+}
+
+TEST_F(FaultInjectionTest, JitterDelaysAndReordersPackets) {
+  cfg_.fault.jitter_ms = 100;
+  cfg_.seed = 3;
+  Network net(queue_, clock_, cfg_);
+  TestNode a(NodeId{1}, {0, 0}), b(NodeId{2}, {10, 0});
+  net.add_node(&a);
+  net.add_node(&b);
+  constexpr int kPackets = 50;
+  for (int i = 0; i < kPackets; ++i) {
+    net.unicast(NodeId{1}, NodeId{2}, std::make_shared<TestMessage>("t", 10, i));
+  }
+  queue_.run_until(1000, clock_);
+  ASSERT_EQ(b.received.size(), static_cast<std::size_t>(kPackets));  // no loss
+
+  std::vector<int> order;
+  for (const Envelope& env : b.received) {
+    order.push_back(static_cast<const TestMessage*>(env.msg.get())->seq);
+  }
+  EXPECT_FALSE(std::is_sorted(order.begin(), order.end()));  // reordered
+}
+
+TEST_F(FaultInjectionTest, DuplicationDeliversExtraCopies) {
+  cfg_.fault.duplicate_probability = 1.0;
+  Network net(queue_, clock_, cfg_);
+  TestNode a(NodeId{1}, {0, 0}), b(NodeId{2}, {10, 0});
+  net.add_node(&a);
+  net.add_node(&b);
+  for (int i = 0; i < 10; ++i) {
+    net.unicast(NodeId{1}, NodeId{2}, std::make_shared<TestMessage>());
+  }
+  queue_.run_until(1000, clock_);
+  EXPECT_EQ(b.received.size(), 20u);
+  EXPECT_EQ(net.stats().packets_duplicated, 10u);
+  EXPECT_EQ(net.stats().packets_sent, 10u);  // duplicates are not fresh sends
+}
+
+TEST_F(FaultInjectionTest, LinkRuleDropsMatchingTrafficOnly) {
+  LinkRule rule;
+  rule.from = NodeId{1};
+  rule.to = NodeId{2};
+  rule.kind = "blocked";
+  cfg_.fault.link_rules.push_back(rule);
+  Network net(queue_, clock_, cfg_);
+  TestNode a(NodeId{1}, {0, 0}), b(NodeId{2}, {10, 0}), c(NodeId{3}, {20, 0});
+  for (TestNode* n : {&a, &b, &c}) net.add_node(n);
+
+  net.unicast(NodeId{1}, NodeId{2}, std::make_shared<TestMessage>("blocked"));
+  net.unicast(NodeId{1}, NodeId{2}, std::make_shared<TestMessage>("allowed"));
+  net.unicast(NodeId{1}, NodeId{3}, std::make_shared<TestMessage>("blocked"));
+  queue_.run_until(1000, clock_);
+
+  ASSERT_EQ(b.received.size(), 1u);  // only the "allowed" kind got through
+  EXPECT_EQ(b.received[0].msg->kind(), "allowed");
+  EXPECT_EQ(c.received.size(), 1u);  // other receivers unaffected
+  EXPECT_EQ(net.stats().packets_dropped, 1u);
+  EXPECT_EQ(net.stats().dropped_by_kind.at("blocked"), 1u);
+}
+
+TEST_F(FaultInjectionTest, LinkRuleRespectsActiveWindow) {
+  LinkRule rule;  // wildcard sender/receiver/kind, active [100, 200) only
+  rule.active_from = 100;
+  rule.active_until = 200;
+  cfg_.fault.link_rules.push_back(rule);
+  Network net(queue_, clock_, cfg_);
+  TestNode a(NodeId{1}, {0, 0}), b(NodeId{2}, {10, 0});
+  net.add_node(&a);
+  net.add_node(&b);
+
+  net.unicast(NodeId{1}, NodeId{2}, std::make_shared<TestMessage>());  // t=0
+  queue_.run_until(150, clock_);
+  net.unicast(NodeId{1}, NodeId{2}, std::make_shared<TestMessage>());  // t=150
+  queue_.run_until(250, clock_);
+  net.unicast(NodeId{1}, NodeId{2}, std::make_shared<TestMessage>());  // t=250
+  queue_.run_until(1000, clock_);
+
+  EXPECT_EQ(b.received.size(), 2u);  // only the t=150 send was inside the window
+  EXPECT_EQ(net.stats().packets_dropped, 1u);
+}
+
+TEST_F(FaultInjectionTest, ReceiverOutageBlackholesDeliveries) {
+  cfg_.fault.outages.push_back(Outage{NodeId{2}, 0, 500});
+  Network net(queue_, clock_, cfg_);
+  TestNode a(NodeId{1}, {0, 0}), b(NodeId{2}, {10, 0});
+  net.add_node(&a);
+  net.add_node(&b);
+
+  net.unicast(NodeId{1}, NodeId{2}, std::make_shared<TestMessage>());  // dark
+  queue_.run_until(600, clock_);
+  net.unicast(NodeId{1}, NodeId{2}, std::make_shared<TestMessage>());  // back up
+  queue_.run_until(1000, clock_);
+
+  EXPECT_EQ(b.received.size(), 1u);
+  EXPECT_EQ(net.stats().packets_lost_outage, 1u);
+  EXPECT_EQ(net.stats().dropped_by_kind.at("test"), 1u);
+}
+
+TEST_F(FaultInjectionTest, SenderOutageEmitsNothing) {
+  cfg_.fault.outages.push_back(Outage{NodeId{1}, 0, 500});
+  Network net(queue_, clock_, cfg_);
+  TestNode a(NodeId{1}, {0, 0}), b(NodeId{2}, {10, 0});
+  net.add_node(&a);
+  net.add_node(&b);
+  net.unicast(NodeId{1}, NodeId{2}, std::make_shared<TestMessage>());
+  queue_.run_until(1000, clock_);
+  EXPECT_TRUE(b.received.empty());
+  EXPECT_EQ(net.stats().packets_sent, 0u);  // never reached the medium
+  EXPECT_EQ(net.stats().packets_lost_outage, 1u);
+}
+
+TEST_F(FaultInjectionTest, OutageEndsExactlyAtUntil) {
+  const FaultProfile f = [] {
+    FaultProfile p;
+    p.outages.push_back(Outage{NodeId{5}, 100, 200});
+    return p;
+  }();
+  EXPECT_FALSE(f.node_down(NodeId{5}, 99));
+  EXPECT_TRUE(f.node_down(NodeId{5}, 100));
+  EXPECT_TRUE(f.node_down(NodeId{5}, 199));
+  EXPECT_FALSE(f.node_down(NodeId{5}, 200));  // [from, until)
+  EXPECT_FALSE(f.node_down(NodeId{6}, 150));
+}
+
+TEST_F(FaultInjectionTest, SenderRemovalDoesNotRecallInFlightPackets) {
+  Network net(queue_, clock_, cfg_);
+  TestNode a(NodeId{1}, {0, 0}), b(NodeId{2}, {10, 0});
+  net.add_node(&a);
+  net.add_node(&b);
+  net.unicast(NodeId{1}, NodeId{2}, std::make_shared<TestMessage>());
+  net.remove_node(NodeId{1});  // the emission already happened
+  queue_.run_until(1000, clock_);
+  EXPECT_EQ(b.received.size(), 1u);
+  EXPECT_EQ(net.stats().packets_delivered, 1u);
+}
+
+TEST_F(FaultInjectionTest, RangeIsRecheckedAtDeliveryTime) {
+  Network net(queue_, clock_, cfg_);
+  TestNode a(NodeId{1}, {0, 0}), b(NodeId{2}, {10, 0});
+  net.add_node(&a);
+  net.add_node(&b);
+  net.unicast(NodeId{1}, NodeId{2}, std::make_shared<TestMessage>());
+  b.move_to({100000, 0});  // drifts out of range while the packet is in flight
+  queue_.run_until(1000, clock_);
+  EXPECT_TRUE(b.received.empty());
+  EXPECT_EQ(net.stats().packets_out_of_range, 1u);
+  EXPECT_EQ(net.stats().packets_delivered, 0u);
+}
+
+TEST_F(FaultInjectionTest, DeliveryRangeIsMeasuredFromEmissionOrigin) {
+  Network net(queue_, clock_, cfg_);
+  TestNode a(NodeId{1}, {0, 0}), b(NodeId{2}, {10, 0});
+  net.add_node(&a);
+  net.add_node(&b);
+  net.unicast(NodeId{1}, NodeId{2}, std::make_shared<TestMessage>());
+  // The SENDER teleporting away must not kill the packet: the wavefront
+  // already left from the origin captured at emission time.
+  a.move_to({100000, 0});
+  queue_.run_until(1000, clock_);
+  EXPECT_EQ(b.received.size(), 1u);
+}
+
+TEST_F(FaultInjectionTest, BroadcastCountsOutOfRangeRecipients) {
+  Network net(queue_, clock_, cfg_);
+  TestNode src(NodeId{1}, {0, 0});
+  TestNode near(NodeId{2}, {100, 0});
+  TestNode far1(NodeId{3}, {5000, 0}), far2(NodeId{4}, {0, 9000});
+  for (TestNode* n : {&src, &near, &far1, &far2}) net.add_node(n);
+  net.broadcast(NodeId{1}, std::make_shared<TestMessage>());
+  queue_.run_until(100, clock_);
+  EXPECT_EQ(near.received.size(), 1u);
+  EXPECT_EQ(net.stats().packets_out_of_range, 2u);
+  EXPECT_EQ(net.stats().packets_sent, 1u);
+}
+
+TEST_F(FaultInjectionTest, PerKindByteAndDropAccounting) {
+  cfg_.fault.link_rules.push_back(
+      LinkRule{NodeId{}, NodeId{}, "plan", 1.0, 0, kTickMax});
+  Network net(queue_, clock_, cfg_);
+  TestNode a(NodeId{1}, {0, 0}), b(NodeId{2}, {10, 0});
+  net.add_node(&a);
+  net.add_node(&b);
+  net.unicast(NodeId{1}, NodeId{2}, std::make_shared<TestMessage>("plan", 400));
+  net.unicast(NodeId{1}, NodeId{2}, std::make_shared<TestMessage>("alert", 60));
+  net.unicast(NodeId{1}, NodeId{2}, std::make_shared<TestMessage>("alert", 60));
+  queue_.run_until(1000, clock_);
+
+  const NetworkStats& s = net.stats();
+  EXPECT_EQ(s.bytes_by_kind.at("plan"), 400u);   // counted even though dropped
+  EXPECT_EQ(s.bytes_by_kind.at("alert"), 120u);
+  EXPECT_EQ(s.dropped_by_kind.at("plan"), 1u);
+  EXPECT_FALSE(s.dropped_by_kind.contains("alert"));
+  EXPECT_EQ(s.bytes_sent, 520u);
+}
+
+TEST_F(FaultInjectionTest, ZeroFaultProfileMatchesPlainNetworkExactly) {
+  // The fault layer must consume randomness only when a feature is enabled:
+  // a default FaultProfile under uniform loss reproduces the exact same
+  // drop pattern as the pre-fault-layer network with the same seed.
+  cfg_.loss_probability = 0.3;
+  cfg_.seed = 42;
+
+  auto run = [&](const FaultProfile& fault) {
+    SimClock clock;
+    EventQueue queue;
+    NetworkConfig cfg = cfg_;
+    cfg.fault = fault;
+    Network net(queue, clock, cfg);
+    TestNode a(NodeId{1}, {0, 0}), b(NodeId{2}, {10, 0});
+    net.add_node(&a);
+    net.add_node(&b);
+    std::vector<int> got;
+    for (int i = 0; i < 500; ++i) {
+      net.unicast(NodeId{1}, NodeId{2}, std::make_shared<TestMessage>("t", 10, i));
+    }
+    queue.run_until(1000, clock);
+    for (const Envelope& env : b.received) {
+      got.push_back(static_cast<const TestMessage*>(env.msg.get())->seq);
+    }
+    return got;
+  };
+
+  FaultProfile inert;  // present but all-off
+  FaultProfile with_rules_elsewhere;  // rules that never match this traffic
+  with_rules_elsewhere.outages.push_back(Outage{NodeId{99}, 0, 1000});
+  EXPECT_EQ(run(FaultProfile{}), run(inert));
+  EXPECT_EQ(run(FaultProfile{}), run(with_rules_elsewhere));
+}
+
+}  // namespace
+}  // namespace nwade::net

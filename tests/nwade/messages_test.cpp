@@ -63,15 +63,17 @@ TEST(Names, GlobalReasons) {
 }
 
 TEST(Names, VehicleStatesCoverFig2) {
-  // The paper's Fig. 2 gives vehicles 8 states; every one has a name.
+  // The paper's Fig. 2 gives vehicles 8 states; the fault-tolerance layer
+  // adds a 9th (degraded). Every one has a distinct name.
   const VehicleState states[] = {
       VehicleState::kPreparation,       VehicleState::kBlockVerification,
       VehicleState::kTraveling,         VehicleState::kLocalVerification,
       VehicleState::kAwaitingResponse,  VehicleState::kGlobalVerification,
-      VehicleState::kSelfEvacuation,    VehicleState::kExited};
+      VehicleState::kSelfEvacuation,    VehicleState::kDegraded,
+      VehicleState::kExited};
   std::set<std::string> names;
   for (VehicleState s : states) names.insert(vehicle_state_name(s));
-  EXPECT_EQ(names.size(), 8u);
+  EXPECT_EQ(names.size(), 9u);
 }
 
 TEST(Names, ImStatesCoverFig2) {

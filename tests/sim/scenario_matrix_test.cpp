@@ -88,6 +88,25 @@ TEST(PacketLoss, ProtocolSurvivesLossyNetwork) {
   EXPECT_EQ(s.metrics.false_alarm_evacuations, 0);
 }
 
+TEST(PacketLoss, ProtocolSurvivesBurstyLossProfile) {
+  // Same bar as the uniform-loss test, but with the loss arriving in bursts
+  // (Gilbert–Elliott, ~6-packet bursts at 15% mean loss): whole processing
+  // windows of blocks can vanish, exercising gap recovery rather than
+  // single-block re-requests.
+  ScenarioConfig cfg;
+  cfg.intersection.kind = traffic::IntersectionKind::kCross4;
+  cfg.vehicles_per_minute = 60;
+  cfg.duration_ms = 80'000;
+  cfg.network.fault = net::burst_loss_profile(0.15, 6.0);
+  cfg.attack = protocol::attack_setting_by_name("V1");
+  cfg.attack_time = 35'000;
+  cfg.seed = 11;
+  const RunSummary s = World(cfg).run();
+  EXPECT_GT(s.metrics.vehicles_exited, 10);
+  EXPECT_GT(s.net_stats.packets_dropped, 0u);
+  EXPECT_EQ(s.metrics.false_alarm_evacuations, 0);
+}
+
 TEST(LongRun, FiveMinutesStaysBounded) {
   ScenarioConfig cfg;
   cfg.intersection.kind = traffic::IntersectionKind::kCross4;
