@@ -8,6 +8,7 @@
 #include "crypto/rsa.h"
 #include "crypto/sha256.h"
 #include "crypto/signer.h"
+#include "support.h"
 
 namespace {
 
@@ -135,6 +136,54 @@ BENCHMARK(BM_BlockStructuralVerify)
     ->Arg(32)
     ->Unit(benchmark::kMicrosecond);
 
+/// Headline phases re-measured with the shared warmup + median-of-N helper
+/// and written to BENCH_crypto_micro.json (nwade-bench-v1, support.h). The
+/// amortized-context phase shows what RsaVerifyContext saves over the free
+/// function, which pays Montgomery setup on every call.
+void emit_bench_json() {
+  const auto t_start = std::chrono::steady_clock::now();
+  const auto& key = key_of(2048);
+  const Bytes msg = test_data(512);
+  const Bytes sig = rsa_sign(key.priv, msg);
+  constexpr int kVerifies = 16;
+
+  const auto verify_free = nwade::bench::timed_median(1, 5, [&] {
+    for (int i = 0; i < kVerifies; ++i) {
+      benchmark::DoNotOptimize(rsa_verify(key.pub, msg, sig));
+    }
+  });
+  const RsaVerifyContext ctx(key.pub);
+  const auto verify_ctx = nwade::bench::timed_median(1, 5, [&] {
+    for (int i = 0; i < kVerifies; ++i) {
+      benchmark::DoNotOptimize(ctx.verify(msg, sig));
+    }
+  });
+  const auto sha_64k = nwade::bench::timed_median(1, 5, [data = test_data(65536)] {
+    benchmark::DoNotOptimize(sha256(data));
+  });
+
+  const double wall_s = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - t_start)
+                            .count();
+  const std::string envelope = nwade::bench::bench_envelope(
+      "crypto_micro", wall_s,
+      {nwade::bench::json_phase("rsa2048_verify_x16_free", verify_free),
+       nwade::bench::json_phase("rsa2048_verify_x16_context", verify_ctx),
+       nwade::bench::json_speedup(
+           "rsa2048_verify_context",
+           verify_ctx.median_ms > 0 ? verify_free.median_ms / verify_ctx.median_ms
+                                    : 0),
+       nwade::bench::json_phase("sha256_64k", sha_64k)});
+  nwade::bench::write_bench_file("BENCH_crypto_micro.json", envelope);
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  emit_bench_json();
+  return 0;
+}

@@ -6,6 +6,7 @@
 
 #include "aim/baseline.h"
 #include "aim/scheduler.h"
+#include "support.h"
 #include "traffic/arrivals.h"
 
 namespace {
@@ -123,6 +124,54 @@ void BM_TrafficLightSchedule(benchmark::State& state) {
 }
 BENCHMARK(BM_TrafficLightSchedule)->Unit(benchmark::kMicrosecond);
 
+/// Headline phases re-measured with the shared warmup + median-of-N helper
+/// and written to BENCH_scheduler_micro.json (nwade-bench-v1, support.h) so
+/// run-over-run diffs don't depend on google-benchmark's console format.
+void emit_bench_json() {
+  const auto t_start = std::chrono::steady_clock::now();
+  const auto& ix = intersection_of(1);  // 4-way cross
+  traffic::ArrivalGenerator gen(ix, 120, Rng(4));
+  const auto arrivals = gen.generate(10 * 60 * 1000);
+
+  const auto burst = [&](bool linear) {
+    aim::SchedulerConfig cfg;
+    cfg.linear_reference_scan = linear;
+    aim::ReservationScheduler sched(ix, cfg);
+    std::uint64_t vid = 1;
+    for (int i = 0; i < 1000; ++i) {
+      const auto& a = arrivals[static_cast<std::size_t>(i) % arrivals.size()];
+      benchmark::DoNotOptimize(sched.schedule(VehicleId{vid++}, a.route_id,
+                                              a.traits,
+                                              static_cast<Tick>(i) * 100, 20.0));
+    }
+  };
+  const auto burst_indexed =
+      nwade::bench::timed_median(1, 5, [&] { burst(false); });
+  const auto burst_linear =
+      nwade::bench::timed_median(1, 5, [&] { burst(true); });
+
+  const double wall_s = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - t_start)
+                            .count();
+  const std::string envelope = nwade::bench::bench_envelope(
+      "scheduler_micro", wall_s,
+      {nwade::bench::json_phase("schedule_burst_1000_indexed", burst_indexed),
+       nwade::bench::json_phase("schedule_burst_1000_linear", burst_linear),
+       nwade::bench::json_speedup(
+           "schedule_burst_1000",
+           burst_indexed.median_ms > 0
+               ? burst_linear.median_ms / burst_indexed.median_ms
+               : 0)});
+  nwade::bench::write_bench_file("BENCH_scheduler_micro.json", envelope);
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  emit_bench_json();
+  return 0;
+}

@@ -39,7 +39,7 @@ int main() {
   const chain::Block block =
       chain::Block::package(0, {}, 0, {p1, p2}, *signer);
   std::printf("block 0: %zu plans, root %.16s..., signature %zu bytes\n",
-              block.plans.size(), crypto::digest_hex(block.merkle_root).c_str(),
+              block.plans().size(), crypto::digest_hex(block.merkle_root).c_str(),
               block.signature.size());
 
   chain::BlockStore store;

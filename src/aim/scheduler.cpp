@@ -19,13 +19,15 @@ std::optional<std::pair<Tick, Tick>> padded_occupancy(const TravelPlan& plan,
   return std::make_pair(*t_in - margin, out + margin);
 }
 
-bool overlaps(Tick a0, Tick a1, Tick b0, Tick b1) { return a0 < b1 && b0 < a1; }
-
 }  // namespace
 
 ReservationScheduler::ReservationScheduler(const traffic::Intersection& intersection,
                                            SchedulerConfig config)
-    : intersection_(intersection), config_(config) {}
+    : intersection_(intersection),
+      config_(config),
+      zone_tables_(intersection.zones().size()),
+      route_core_tables_(intersection.routes().size()),
+      route_last_core_entry_(intersection.routes().size(), Tick{-1}) {}
 
 TravelPlan make_profile_plan(const traffic::Intersection& intersection, VehicleId id,
                              int route_id, const traffic::VehicleTraits& traits,
@@ -97,6 +99,16 @@ bool ReservationScheduler::fits(const TravelPlan& plan, int route_id) const {
   return next_candidate_after(plan, route_id, 0) == 0;
 }
 
+void ReservationScheduler::consider(const IntervalTable& table, Tick in, Tick out,
+                                    Tick& shift) const {
+  // The smallest core-entry shift clearing every blocking reservation in
+  // this table is driven by the latest blocking end alone: shift past it.
+  const auto max_end = config_.linear_reference_scan
+                           ? table.latest_blocking_end_linear(in, out)
+                           : table.latest_blocking_end(in, out);
+  if (max_end) shift = std::max(shift, *max_end - in + 1);
+}
+
 Tick ReservationScheduler::next_candidate_after(const TravelPlan& plan, int route_id,
                                                 Tick /*from*/) const {
   // Returns 0 when the plan fits, otherwise the smallest shift (in ms) of
@@ -104,28 +116,16 @@ Tick ReservationScheduler::next_candidate_after(const TravelPlan& plan, int rout
   const traffic::Route& route = intersection_.route(route_id);
   Tick shift = 0;
 
-  const auto consider = [&](const std::vector<Interval>& table, Tick in, Tick out) {
-    for (const Interval& r : table) {
-      if (overlaps(in, out, r.begin, r.end)) {
-        shift = std::max(shift, r.end - in + 1);
-      }
-    }
-  };
-
   if (const auto core =
           padded_occupancy(plan, route.core_begin, route.core_end, config_.margin_ms)) {
-    const auto it = route_core_reservations_.find(route_id);
-    if (it != route_core_reservations_.end()) {
-      consider(it->second, core->first, core->second);
-    }
+    consider(route_core_tables_[static_cast<std::size_t>(route_id)], core->first,
+             core->second, shift);
   }
   for (const traffic::ZoneRef& ref : intersection_.zones_for(route_id)) {
     const auto occ = padded_occupancy(plan, ref.begin, ref.end, config_.margin_ms);
     if (!occ) continue;
-    const auto it = zone_reservations_.find(ref.zone_id);
-    if (it != zone_reservations_.end()) {
-      consider(it->second, occ->first, occ->second);
-    }
+    consider(zone_tables_[static_cast<std::size_t>(ref.zone_id)], occ->first,
+             occ->second, shift);
   }
   return shift;
 }
@@ -134,17 +134,17 @@ void ReservationScheduler::commit(const TravelPlan& plan, int route_id) {
   const traffic::Route& route = intersection_.route(route_id);
   if (const auto core =
           padded_occupancy(plan, route.core_begin, route.core_end, config_.margin_ms)) {
-    route_core_reservations_[route_id].push_back(
+    route_core_tables_[static_cast<std::size_t>(route_id)].insert(
         Interval{core->first, core->second, plan.vehicle});
   }
   for (const traffic::ZoneRef& ref : intersection_.zones_for(route_id)) {
     if (const auto occ =
             padded_occupancy(plan, ref.begin, ref.end, config_.margin_ms)) {
-      zone_reservations_[ref.zone_id].push_back(
+      zone_tables_[static_cast<std::size_t>(ref.zone_id)].insert(
           Interval{occ->first, occ->second, plan.vehicle});
     }
   }
-  Tick& last_entry = route_last_core_entry_[route_id];
+  Tick& last_entry = route_last_core_entry_[static_cast<std::size_t>(route_id)];
   last_entry = std::max(last_entry, plan.core_entry);
 }
 
@@ -157,9 +157,9 @@ TravelPlan ReservationScheduler::schedule(VehicleId id, int route_id,
   Tick core_entry = now + seconds_to_ticks(route.core_begin / limit);
   // FIFO along the shared approach: never slot a new spawn in front of a
   // same-route vehicle that already holds a (possibly distant) reservation.
-  if (const auto it = route_last_core_entry_.find(route_id);
-      it != route_last_core_entry_.end()) {
-    core_entry = std::max(core_entry, it->second + 1);
+  if (const Tick last = route_last_core_entry_[static_cast<std::size_t>(route_id)];
+      last >= 0) {
+    core_entry = std::max(core_entry, last + 1);
   }
 
   TravelPlan plan = build_plan(id, route_id, traits, now, 0.0, core_entry);
@@ -178,13 +178,8 @@ void ReservationScheduler::reserve_virtual(const TravelPlan& plan) {
 }
 
 void ReservationScheduler::release_vehicle(VehicleId id) {
-  const auto sweep = [id](std::map<int, std::vector<Interval>>& tables) {
-    for (auto& [key, table] : tables) {
-      std::erase_if(table, [id](const Interval& r) { return r.owner == id; });
-    }
-  };
-  sweep(zone_reservations_);
-  sweep(route_core_reservations_);
+  for (IntervalTable& table : zone_tables_) table.erase_owner(id);
+  for (IntervalTable& table : route_core_tables_) table.erase_owner(id);
 }
 
 TravelPlan ReservationScheduler::reschedule(VehicleId id, int route_id,
@@ -211,18 +206,13 @@ TravelPlan ReservationScheduler::reschedule(VehicleId id, int route_id,
 }
 
 void ReservationScheduler::release_before(Tick t) {
-  const auto sweep = [t](std::map<int, std::vector<Interval>>& tables) {
-    for (auto& [key, table] : tables) {
-      std::erase_if(table, [t](const Interval& r) { return r.end < t; });
-    }
-  };
-  sweep(zone_reservations_);
-  sweep(route_core_reservations_);
+  for (IntervalTable& table : zone_tables_) table.erase_end_before(t);
+  for (IntervalTable& table : route_core_tables_) table.erase_end_before(t);
 }
 
 std::size_t ReservationScheduler::reservation_count() const {
   std::size_t n = 0;
-  for (const auto& [zone, table] : zone_reservations_) n += table.size();
+  for (const IntervalTable& table : zone_tables_) n += table.size();
   return n;
 }
 
@@ -273,8 +263,8 @@ std::vector<TravelPlan> ReservationScheduler::plan_evacuation(
 std::vector<TravelPlan> ReservationScheduler::plan_recovery(
     const std::vector<ActiveVehicle>& vehicles, Tick now) {
   // Reservations made for pre-evacuation plans are void; start fresh.
-  zone_reservations_.clear();
-  route_core_reservations_.clear();
+  for (IntervalTable& table : zone_tables_) table.clear();
+  for (IntervalTable& table : route_core_tables_) table.clear();
 
   // Vehicles closest to the exit replan first so upstream vehicles queue
   // behind them rather than the other way around.

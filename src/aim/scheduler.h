@@ -15,9 +15,9 @@
 // a cruise to and through the core, then the speed limit on the exit leg.
 #pragma once
 
-#include <map>
 #include <vector>
 
+#include "aim/interval_table.h"
 #include "aim/plan.h"
 #include "traffic/intersection.h"
 #include "util/types.h"
@@ -31,6 +31,10 @@ struct SchedulerConfig {
   double min_cruise_mps{4.0};
   /// Give-up bound for the feasibility search (defensive; rarely hit).
   int max_push_iterations{400};
+  /// Test-only: answer blocking queries with the historical O(n) linear
+  /// sweep instead of the indexed prefix-max search, so the equivalence
+  /// suite can prove the indexed tables behavior-preserving.
+  bool linear_reference_scan{false};
 };
 
 /// Snapshot of a vehicle mid-crossing, used for evacuation replanning.
@@ -117,10 +121,7 @@ class ReservationScheduler final : public Scheduler {
   std::size_t reservation_count() const;
 
  private:
-  struct Interval {
-    Tick begin, end;
-    VehicleId owner{};
-  };
+  using Interval = IntervalTable::Interval;
 
   TravelPlan build_plan(VehicleId id, int route_id,
                         const traffic::VehicleTraits& traits, Tick now, double s_start,
@@ -130,17 +131,20 @@ class ReservationScheduler final : public Scheduler {
   /// Earliest tick >= `from` at which the plan's claims could fit, given the
   /// blocking reservation discovered; kTickMax if none found.
   Tick next_candidate_after(const TravelPlan& plan, int route_id, Tick from) const;
+  /// Latest blocking end in `table` for [in, out), honouring the reference
+  /// flag; folds the induced core-entry push into `shift`.
+  void consider(const IntervalTable& table, Tick in, Tick out, Tick& shift) const;
 
   const traffic::Intersection& intersection_;
   SchedulerConfig config_;
-  std::map<int, std::vector<Interval>> zone_reservations_;   // zone id -> intervals
-  std::map<int, std::vector<Interval>> route_core_reservations_;  // route id -> intervals
-  /// Latest committed core-entry per route. New spawns (s=0) may not enter
-  /// the core before a vehicle already committed on the same route: the
-  /// earliest-fit search could otherwise slot a newcomer into a free window
-  /// *before* an earlier vehicle's distant reservation, making it physically
-  /// overtake that vehicle on the shared approach lane.
-  std::map<int, Tick> route_last_core_entry_;
+  std::vector<IntervalTable> zone_tables_;        ///< indexed by zone id
+  std::vector<IntervalTable> route_core_tables_;  ///< indexed by route id
+  /// Latest committed core-entry per route (-1 = no commits yet). New spawns
+  /// (s=0) may not enter the core before a vehicle already committed on the
+  /// same route: the earliest-fit search could otherwise slot a newcomer
+  /// into a free window *before* an earlier vehicle's distant reservation,
+  /// making it physically overtake that vehicle on the shared approach lane.
+  std::vector<Tick> route_last_core_entry_;
 };
 
 }  // namespace nwade::aim

@@ -1,30 +1,164 @@
 #include "chain/block.h"
 
+#include <utility>
+
 namespace nwade::chain {
 
-crypto::MerkleTree Block::build_tree(const std::vector<aim::TravelPlan>& plans) {
+Block::Block(const Block& other)
+    : signature(other.signature),
+      prev_hash(other.prev_hash),
+      timestamp(other.timestamp),
+      merkle_root(other.merkle_root),
+      seq(other.seq),
+      revoked(other.revoked),
+      plans_(other.plans_) {
+  // Warm caches travel with the copy: a store appending a verified broadcast
+  // block keeps its hash, payload, and Merkle tree without recomputation.
+  std::lock_guard<std::mutex> lock(other.cache_mu_);
+  snapshot_valid_ = other.snapshot_valid_;
+  snapshot_ = other.snapshot_;
+  payload_valid_ = other.payload_valid_;
+  payload_cache_ = other.payload_cache_;
+  hash_valid_ = other.hash_valid_;
+  hash_cache_ = other.hash_cache_;
+  wire_valid_ = other.wire_valid_;
+  wire_size_cache_ = other.wire_size_cache_;
+  tree_cache_ = other.tree_cache_;
+}
+
+Block::Block(Block&& other) noexcept
+    : signature(std::move(other.signature)),
+      prev_hash(other.prev_hash),
+      timestamp(other.timestamp),
+      merkle_root(other.merkle_root),
+      seq(other.seq),
+      revoked(std::move(other.revoked)),
+      plans_(std::move(other.plans_)),
+      snapshot_valid_(other.snapshot_valid_),
+      snapshot_(std::move(other.snapshot_)),
+      payload_valid_(other.payload_valid_),
+      payload_cache_(std::move(other.payload_cache_)),
+      hash_valid_(other.hash_valid_),
+      hash_cache_(other.hash_cache_),
+      wire_valid_(other.wire_valid_),
+      wire_size_cache_(other.wire_size_cache_),
+      tree_cache_(std::move(other.tree_cache_)) {
+  other.snapshot_valid_ = false;
+  other.payload_valid_ = false;
+  other.hash_valid_ = false;
+  other.wire_valid_ = false;
+}
+
+Block& Block::operator=(const Block& other) {
+  if (this == &other) return *this;
+  Block tmp(other);
+  *this = std::move(tmp);
+  return *this;
+}
+
+Block& Block::operator=(Block&& other) noexcept {
+  if (this == &other) return *this;
+  signature = std::move(other.signature);
+  prev_hash = other.prev_hash;
+  timestamp = other.timestamp;
+  merkle_root = other.merkle_root;
+  seq = other.seq;
+  revoked = std::move(other.revoked);
+  plans_ = std::move(other.plans_);
+  snapshot_valid_ = other.snapshot_valid_;
+  snapshot_ = std::move(other.snapshot_);
+  payload_valid_ = other.payload_valid_;
+  payload_cache_ = std::move(other.payload_cache_);
+  hash_valid_ = other.hash_valid_;
+  hash_cache_ = other.hash_cache_;
+  wire_valid_ = other.wire_valid_;
+  wire_size_cache_ = other.wire_size_cache_;
+  tree_cache_ = std::move(other.tree_cache_);
+  other.snapshot_valid_ = false;
+  other.payload_valid_ = false;
+  other.hash_valid_ = false;
+  other.wire_valid_ = false;
+  return *this;
+}
+
+std::vector<aim::TravelPlan>& Block::mutable_plans() {
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  tree_cache_.reset();
+  wire_valid_ = false;
+  return plans_;
+}
+
+void Block::set_plans(std::vector<aim::TravelPlan> plans) {
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  plans_ = std::move(plans);
+  tree_cache_.reset();
+  wire_valid_ = false;
+}
+
+std::shared_ptr<const crypto::MerkleTree> Block::build_tree(
+    const std::vector<aim::TravelPlan>& plans) {
   std::vector<Bytes> leaves;
   leaves.reserve(plans.size());
   for (const aim::TravelPlan& p : plans) leaves.push_back(p.serialize());
-  return crypto::MerkleTree(leaves);
+  return std::make_shared<crypto::MerkleTree>(leaves);
+}
+
+void Block::revalidate_header_locked() const {
+  if (snapshot_valid_ && snapshot_.signature == signature &&
+      snapshot_.prev_hash == prev_hash && snapshot_.timestamp == timestamp &&
+      snapshot_.merkle_root == merkle_root && snapshot_.seq == seq &&
+      snapshot_.revoked == revoked) {
+    return;
+  }
+  snapshot_.signature = signature;
+  snapshot_.prev_hash = prev_hash;
+  snapshot_.timestamp = timestamp;
+  snapshot_.merkle_root = merkle_root;
+  snapshot_.seq = seq;
+  snapshot_.revoked = revoked;
+  snapshot_valid_ = true;
+  payload_valid_ = false;
+  hash_valid_ = false;
+  wire_valid_ = false;
+}
+
+const Bytes& Block::payload_locked() const {
+  revalidate_header_locked();
+  if (!payload_valid_) {
+    ByteWriter w;
+    w.u64(seq);
+    w.bytes(prev_hash);
+    w.i64(timestamp);
+    w.bytes(merkle_root);
+    w.u32(static_cast<std::uint32_t>(revoked.size()));
+    for (VehicleId v : revoked) w.u64(v.value);
+    payload_cache_ = w.take();
+    payload_valid_ = true;
+  }
+  return payload_cache_;
+}
+
+const crypto::MerkleTree& Block::tree_locked() const {
+  if (!tree_cache_) tree_cache_ = build_tree(plans_);
+  return *tree_cache_;
 }
 
 Bytes Block::signed_payload() const {
-  ByteWriter w;
-  w.u64(seq);
-  w.bytes(prev_hash);
-  w.i64(timestamp);
-  w.bytes(merkle_root);
-  w.u32(static_cast<std::uint32_t>(revoked.size()));
-  for (VehicleId v : revoked) w.u64(v.value);
-  return w.take();
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  return payload_locked();
 }
 
 crypto::Digest Block::hash() const {
-  crypto::Sha256 h;
-  h.update(signature);
-  h.update(signed_payload());
-  return h.finish();
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  const Bytes& payload = payload_locked();
+  if (!hash_valid_) {
+    crypto::Sha256 h;
+    h.update(signature);
+    h.update(payload);
+    hash_cache_ = h.finish();
+    hash_valid_ = true;
+  }
+  return hash_cache_;
 }
 
 Block Block::package(BlockSeq seq, const crypto::Digest& prev_hash, Tick timestamp,
@@ -34,28 +168,35 @@ Block Block::package(BlockSeq seq, const crypto::Digest& prev_hash, Tick timesta
   b.seq = seq;
   b.prev_hash = prev_hash;
   b.timestamp = timestamp;
-  b.plans = std::move(plans);
+  b.plans_ = std::move(plans);
   b.revoked = std::move(revoked);
-  b.merkle_root = build_tree(b.plans).root();
+  b.tree_cache_ = build_tree(b.plans_);
+  b.merkle_root = b.tree_cache_->root();
   b.signature = signer.sign(b.signed_payload());
   return b;
 }
 
 bool Block::verify_signature(const crypto::Verifier& verifier) const {
+  // Copy the payload out rather than verifying under cache_mu_: an RSA
+  // modexp inside the lock would serialize the worker pool's fan-out.
   return verifier.verify(signed_payload(), signature);
 }
 
-bool Block::verify_merkle() const { return build_tree(plans).root() == merkle_root; }
+bool Block::verify_merkle() const {
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  return tree_locked().root() == merkle_root;
+}
 
 const aim::TravelPlan* Block::plan_for(VehicleId id) const {
-  for (const aim::TravelPlan& p : plans) {
+  for (const aim::TravelPlan& p : plans_) {
     if (p.vehicle == id) return &p;
   }
   return nullptr;
 }
 
 crypto::MerkleProof Block::prove_plan(std::size_t index) const {
-  return build_tree(plans).prove(index);
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  return tree_locked().prove(index);
 }
 
 Bytes Block::serialize() const {
@@ -67,8 +208,8 @@ Bytes Block::serialize() const {
   w.u64(seq);
   w.u32(static_cast<std::uint32_t>(revoked.size()));
   for (VehicleId v : revoked) w.u64(v.value);
-  w.u32(static_cast<std::uint32_t>(plans.size()));
-  for (const aim::TravelPlan& p : plans) w.bytes(p.serialize());
+  w.u32(static_cast<std::uint32_t>(plans_.size()));
+  for (const aim::TravelPlan& p : plans_) w.bytes(p.serialize());
   return w.take();
 }
 
@@ -90,16 +231,24 @@ std::optional<Block> Block::deserialize(const Bytes& data) {
   for (std::uint32_t i = 0; i < n_revoked; ++i) b.revoked.push_back(VehicleId{r.u64()});
   const std::uint32_t n = r.u32();
   if (n > 100000) return std::nullopt;
-  b.plans.reserve(n);
+  b.plans_.reserve(n);
   for (std::uint32_t i = 0; i < n; ++i) {
     auto plan = aim::TravelPlan::deserialize(r.bytes());
     if (!plan) return std::nullopt;
-    b.plans.push_back(std::move(*plan));
+    b.plans_.push_back(std::move(*plan));
   }
   if (!r.ok() || !r.at_end()) return std::nullopt;
   return b;
 }
 
-std::size_t Block::wire_size() const { return serialize().size(); }
+std::size_t Block::wire_size() const {
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  revalidate_header_locked();
+  if (!wire_valid_) {
+    wire_size_cache_ = serialize().size();
+    wire_valid_ = true;
+  }
+  return wire_size_cache_;
+}
 
 }  // namespace nwade::chain

@@ -7,8 +7,21 @@
 // tau_i   timestamp of the processing window
 // R_i     Merkle root over the window's travel plans (plans ride along as
 //         the leaves, so receivers can re-derive and check R_i)
+//
+// Derived values (signed payload, hash, Merkle tree, wire size) are
+// memoized: a broadcast block is verified by every receiver and hashed by
+// every chain append, so recomputing them per call made block fan-out the
+// simulator's crypto hot path. The header fields stay public (the attack
+// tests tamper with them directly); each cache therefore snapshots the
+// inputs it was computed from and re-validates by comparison, so mutation
+// through a public field can never be observed as a stale answer. The plan
+// list is the one exception: it is private behind plans()/mutable_plans()
+// because re-serializing every plan per query just to validate a cache
+// would cost what the cache saves.
 #pragma once
 
+#include <memory>
+#include <mutex>
 #include <optional>
 #include <vector>
 
@@ -29,12 +42,28 @@ struct Block {
   Tick timestamp{0};             ///< tau_i
   crypto::Digest merkle_root{};  ///< R_i
   BlockSeq seq{0};
-  std::vector<aim::TravelPlan> plans;  ///< the Merkle leaves
   /// Vehicles whose earlier plans are void (confirmed threats). Carried in
   /// every block (and covered by the signature) so vehicles that join after
   /// an evacuation alert do not treat a revoked plan as live when checking
   /// new blocks for conflicts.
   std::vector<VehicleId> revoked;
+
+  Block() = default;
+  Block(const Block& other);
+  Block(Block&& other) noexcept;
+  Block& operator=(const Block& other);
+  Block& operator=(Block&& other) noexcept;
+
+  /// The window's travel plans (the Merkle leaves).
+  const std::vector<aim::TravelPlan>& plans() const { return plans_; }
+
+  /// Mutable access to the plan list; drops every plan-derived cache
+  /// (Merkle tree, wire size). Writes through a retained reference after
+  /// other const calls are not tracked — re-call for further mutation.
+  std::vector<aim::TravelPlan>& mutable_plans();
+
+  /// Replaces the plan list wholesale.
+  void set_plans(std::vector<aim::TravelPlan> plans);
 
   /// The bytes that s_i signs: <seq, h_{i-1}, tau_i, R_i, revoked>.
   Bytes signed_payload() const;
@@ -51,7 +80,8 @@ struct Block {
   /// Signature check against the intersection manager's public key.
   bool verify_signature(const crypto::Verifier& verifier) const;
 
-  /// Recomputes the Merkle root from `plans` and compares with `merkle_root`.
+  /// Recomputes the Merkle root from the plans and compares with
+  /// `merkle_root`.
   bool verify_merkle() const;
 
   /// The plan for a given vehicle inside this block, if present.
@@ -67,7 +97,41 @@ struct Block {
   std::size_t wire_size() const;
 
  private:
-  static crypto::MerkleTree build_tree(const std::vector<aim::TravelPlan>& plans);
+  /// Everything the header-derived caches were computed from.
+  struct HeaderSnapshot {
+    Bytes signature;
+    crypto::Digest prev_hash{};
+    Tick timestamp{0};
+    crypto::Digest merkle_root{};
+    BlockSeq seq{0};
+    std::vector<VehicleId> revoked;
+  };
+
+  static std::shared_ptr<const crypto::MerkleTree> build_tree(
+      const std::vector<aim::TravelPlan>& plans);
+
+  /// Compares the live header fields against the snapshot; on any change,
+  /// recaptures and drops the header-derived caches. cache_mu_ must be held.
+  void revalidate_header_locked() const;
+  const Bytes& payload_locked() const;
+  const crypto::MerkleTree& tree_locked() const;
+
+  std::vector<aim::TravelPlan> plans_;
+
+  // Memoized derived values. The mutex makes concurrent const access safe
+  // (the worker pool fans block verifications across threads); the first
+  // caller computes, the rest reuse.
+  mutable std::mutex cache_mu_;
+  mutable bool snapshot_valid_{false};
+  mutable HeaderSnapshot snapshot_;
+  mutable bool payload_valid_{false};
+  mutable Bytes payload_cache_;
+  mutable bool hash_valid_{false};
+  mutable crypto::Digest hash_cache_{};
+  mutable bool wire_valid_{false};
+  mutable std::size_t wire_size_cache_{0};
+  /// Shared, not copied, across Block copies (the tree is immutable).
+  mutable std::shared_ptr<const crypto::MerkleTree> tree_cache_;
 };
 
 }  // namespace nwade::chain

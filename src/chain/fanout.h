@@ -1,0 +1,26 @@
+// Deterministic parallel block-verification fan-out.
+//
+// One tick of the simulator can hand the same broadcast block to dozens of
+// vehicle nodes, each running Algorithm 1's signature + Merkle checks. The
+// checks are pure and independent per receiver, so they fan across the
+// worker pool; results land in input order, making the merged vector a pure
+// function of (block, verifiers) — identical for any pool size, and
+// executed inline (no threads) when the pool size is <= 1.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "chain/block.h"
+#include "util/worker_pool.h"
+
+namespace nwade::chain {
+
+/// out[i] = verifiers[i] accepts `block`'s signature and the block's Merkle
+/// root checks out. uint8_t, not bool: the slots must be independently
+/// writable across threads.
+std::vector<std::uint8_t> fanout_verify(
+    const Block& block, const std::vector<const crypto::Verifier*>& verifiers,
+    util::WorkerPool& pool);
+
+}  // namespace nwade::chain

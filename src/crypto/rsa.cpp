@@ -89,4 +89,30 @@ bool rsa_verify(const RsaPublicKey& key, std::span<const std::uint8_t> msg,
   return em == expected;
 }
 
+RsaVerifyContext::RsaVerifyContext(RsaPublicKey key)
+    : key_(std::move(key)), mont_(key_.n), k_(key_.modulus_bytes()) {
+  const Bytes n_bytes = key_.n.to_bytes(k_);
+  const Bytes e_bytes =
+      key_.e.to_bytes(static_cast<std::size_t>(key_.e.bit_length() + 7) / 8);
+  ByteWriter sizes;
+  sizes.u64(n_bytes.size());
+  sizes.u64(e_bytes.size());
+  Sha256 h;
+  h.update(sizes.data());
+  h.update(n_bytes);
+  h.update(e_bytes);
+  fingerprint_ = h.finish();
+}
+
+bool RsaVerifyContext::verify(std::span<const std::uint8_t> msg,
+                              std::span<const std::uint8_t> sig) const {
+  if (sig.size() != k_) return false;
+  const BigUint s = BigUint::from_bytes(sig);
+  if (s >= key_.n) return false;
+  const BigUint m = mont_.pow(s, key_.e);
+  const Bytes em = m.to_bytes(k_);
+  const Bytes expected = emsa_encode(sha256(msg), k_);
+  return em == expected;
+}
+
 }  // namespace nwade::crypto

@@ -47,4 +47,32 @@ Bytes rsa_sign(const RsaPrivateKey& key, std::span<const std::uint8_t> msg);
 bool rsa_verify(const RsaPublicKey& key, std::span<const std::uint8_t> msg,
                 std::span<const std::uint8_t> sig);
 
+/// Reusable verification context for one public key. `rsa_verify` rebuilds
+/// the Montgomery machinery (n0' and R^2 mod n, a full big divmod) on every
+/// call; in NWADE every vehicle verifies every block against the *same* IM
+/// key, so this context precomputes it once and each verify pays only the
+/// modexp itself. Immutable after construction — safe to share across the
+/// worker pool's threads.
+class RsaVerifyContext {
+ public:
+  explicit RsaVerifyContext(RsaPublicKey key);
+
+  /// Same result as rsa_verify(key(), msg, sig) for every input.
+  bool verify(std::span<const std::uint8_t> msg,
+              std::span<const std::uint8_t> sig) const;
+
+  const RsaPublicKey& key() const { return key_; }
+
+  /// SHA-256 over the length-prefixed (n, e) encoding: a stable identity for
+  /// digest-keyed signature caches (a new key ⇒ a new fingerprint ⇒ stale
+  /// entries can never match).
+  const Digest& fingerprint() const { return fingerprint_; }
+
+ private:
+  RsaPublicKey key_;
+  Montgomery mont_;
+  Digest fingerprint_{};
+  std::size_t k_{0};  ///< modulus length in bytes
+};
+
 }  // namespace nwade::crypto

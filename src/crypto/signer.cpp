@@ -1,19 +1,29 @@
 #include "crypto/signer.h"
 
+#include "crypto/verify_cache.h"
+
 namespace nwade::crypto {
 
 namespace {
 
 class RsaVerifier final : public Verifier {
  public:
-  explicit RsaVerifier(RsaPublicKey pub) : pub_(std::move(pub)) {}
+  explicit RsaVerifier(RsaPublicKey pub) : ctx_(std::move(pub)) {}
   bool verify(std::span<const std::uint8_t> msg,
               std::span<const std::uint8_t> sig) const override {
-    return rsa_verify(pub_, msg, sig);
+    // One modexp per distinct (key, msg, sig) process-wide: every other
+    // receiver of the same broadcast block hits the cache. Pure-function
+    // caching, so the answer is identical either way.
+    auto& cache = SigVerifyCache::instance();
+    const Digest key = SigVerifyCache::key_of(ctx_.fingerprint(), msg, sig);
+    if (const auto cached = cache.lookup(key)) return *cached;
+    const bool ok = ctx_.verify(msg, sig);
+    cache.store(key, ok);
+    return ok;
   }
 
  private:
-  RsaPublicKey pub_;
+  RsaVerifyContext ctx_;
 };
 
 class HmacVerifier final : public Verifier {

@@ -1,0 +1,87 @@
+#include "crypto/verify_cache.h"
+
+#include "util/bytes.h"
+
+namespace nwade::crypto {
+
+SigVerifyCache& SigVerifyCache::instance() {
+  static SigVerifyCache cache;
+  return cache;
+}
+
+Digest SigVerifyCache::key_of(const Digest& verifier_fingerprint,
+                              std::span<const std::uint8_t> msg,
+                              std::span<const std::uint8_t> sig) {
+  Sha256 h;
+  h.update(verifier_fingerprint);
+  // Length prefixes keep (msg, sig) boundaries unambiguous.
+  ByteWriter w;
+  w.u64(msg.size());
+  h.update(w.data());
+  h.update(msg);
+  h.update(sig);
+  return h.finish();
+}
+
+std::optional<bool> SigVerifyCache::lookup(const Digest& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  ++stats_.hits;
+  return it->second;
+}
+
+void SigVerifyCache::store(const Digest& key, bool ok) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (capacity_ == 0) return;
+  const auto [it, inserted] = entries_.emplace(key, ok);
+  if (!inserted) return;
+  insertion_order_.push_back(key);
+  ++stats_.insertions;
+  evict_to_capacity_locked();
+}
+
+void SigVerifyCache::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+  insertion_order_.clear();
+}
+
+std::size_t SigVerifyCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+std::size_t SigVerifyCache::capacity() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return capacity_;
+}
+
+void SigVerifyCache::set_capacity(std::size_t capacity) {
+  std::lock_guard<std::mutex> lock(mu_);
+  capacity_ = capacity;
+  evict_to_capacity_locked();
+}
+
+SigVerifyCache::Stats SigVerifyCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void SigVerifyCache::reset_stats() {
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_ = Stats{};
+}
+
+void SigVerifyCache::evict_to_capacity_locked() {
+  while (entries_.size() > capacity_ && !insertion_order_.empty()) {
+    entries_.erase(insertion_order_.front());
+    insertion_order_.pop_front();
+    ++stats_.evictions;
+  }
+}
+
+}  // namespace nwade::crypto

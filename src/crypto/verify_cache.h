@@ -1,0 +1,99 @@
+// Process-wide digest-keyed signature-verification cache.
+//
+// A NWADE broadcast makes every vehicle node verify the *same* block bytes
+// against the *same* IM public key: N receivers, N identical modexps. Since
+// signature verification is a pure function of (key, message, signature),
+// the first receiver's answer is everyone's answer. This cache keys results
+// by SHA-256 over those three inputs, so the fleet pays one modexp per
+// block and N-1 hash-lookups.
+//
+// Correctness properties:
+//   * A tampered message or signature changes the key digest, so it can
+//     never alias its honest twin — a forged block always recomputes (and
+//     fails) on its own cache miss.
+//   * Key rotation changes the verifier fingerprint folded into the key, so
+//     stale entries for a retired key are unreachable, not merely evicted.
+//   * Capacity is bounded with FIFO eviction; capacity 0 disables caching
+//     entirely (every lookup misses, stores are dropped) — used by benches
+//     to measure the uncached path.
+//
+// The cache is a deliberate process-wide singleton: vehicle nodes are cheap
+// value objects, and threading a cache handle through every constructor
+// would hand each node a private cache — exactly the sharing the
+// optimization exists to provide. Thread-safe (single mutex).
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <unordered_map>
+
+#include "crypto/sha256.h"
+
+namespace nwade::crypto {
+
+class SigVerifyCache {
+ public:
+  struct Stats {
+    std::uint64_t hits{0};
+    std::uint64_t misses{0};
+    std::uint64_t insertions{0};
+    std::uint64_t evictions{0};
+  };
+
+  static constexpr std::size_t kDefaultCapacity = 4096;
+
+  explicit SigVerifyCache(std::size_t capacity = kDefaultCapacity)
+      : capacity_(capacity) {}
+
+  /// The shared process-wide instance used by RsaVerifier.
+  static SigVerifyCache& instance();
+
+  /// Cache key: SHA-256 over (verifier fingerprint, message, signature),
+  /// length-prefixed.
+  static Digest key_of(const Digest& verifier_fingerprint,
+                       std::span<const std::uint8_t> msg,
+                       std::span<const std::uint8_t> sig);
+
+  /// The cached verdict for `key`, counting a hit/miss either way.
+  std::optional<bool> lookup(const Digest& key);
+
+  /// Records a verdict, evicting the oldest entry when full. Idempotent for
+  /// a key already present (verdicts are pure, so the value cannot differ).
+  void store(const Digest& key, bool ok);
+
+  void clear();
+
+  /// Live entry count (≤ capacity).
+  std::size_t size() const;
+  std::size_t capacity() const;
+  /// Shrinks immediately if the new capacity is smaller; 0 disables caching.
+  void set_capacity(std::size_t capacity);
+
+  Stats stats() const;
+  void reset_stats();
+
+ private:
+  struct DigestHash {
+    std::size_t operator()(const Digest& d) const {
+      // The key is itself a SHA-256 output: any 8 bytes are a good hash.
+      std::size_t h;
+      static_assert(sizeof(h) <= 32);
+      std::memcpy(&h, d.data(), sizeof(h));
+      return h;
+    }
+  };
+
+  void evict_to_capacity_locked();
+
+  mutable std::mutex mu_;
+  std::size_t capacity_;
+  std::unordered_map<Digest, bool, DigestHash> entries_;
+  std::deque<Digest> insertion_order_;  ///< FIFO eviction queue
+  Stats stats_;
+};
+
+}  // namespace nwade::crypto

@@ -79,7 +79,7 @@ void ImNode::restart(Tick now) {
   // skipping perception-derived virtual plans (the next window re-tracks any
   // legacy vehicle still in range) and vehicles that already left.
   for (const chain::Block& block : recent_blocks_) {
-    for (const aim::TravelPlan& plan : block.plans) {
+    for (const aim::TravelPlan& plan : block.plans()) {
       if (plan.unmanaged) continue;
       ever_planned_.insert(plan.vehicle);
       const auto it = active_plans_.find(plan.vehicle);

@@ -583,7 +583,7 @@ bool VehicleNode::verify_block(const chain::Block& block, Tick now, std::string*
   // within this block and against the cached chain (latest plan per vehicle).
   std::map<VehicleId, const aim::TravelPlan*> latest_plans;
   for (auto it = store_.blocks().rbegin(); it != store_.blocks().rend(); ++it) {
-    for (const aim::TravelPlan& p : it->plans) {
+    for (const aim::TravelPlan& p : it->plans()) {
       latest_plans.try_emplace(p.vehicle, &p);
     }
   }
@@ -721,7 +721,7 @@ void VehicleNode::handle_block_response(const BlockResponse& resp, Tick now) {
     // Same filters as Algorithm 1: emergency plans and grandfathered mid-core
     // plans are not scheduling decisions and must not be judged as conflicts.
     std::vector<const aim::TravelPlan*> plans;
-    for (const aim::TravelPlan& p : resp.block->plans) {
+    for (const aim::TravelPlan& p : resp.block->plans()) {
       if (p.evacuation || p.unmanaged) continue;
       if (confirmed_threats_.contains(p.vehicle)) continue;
       if (p.segments.empty() ||
@@ -741,7 +741,7 @@ void VehicleNode::handle_block_response(const BlockResponse& resp, Tick now) {
     if (!ctx_.metrics->false_global_detected) ctx_.metrics->false_global_detected = now;
   }
 
-  for (const aim::TravelPlan& p : resp.block->plans) {
+  for (const aim::TravelPlan& p : resp.block->plans()) {
     // Keep only the newest plan per vehicle.
     const auto it = extra_plans_.find(p.vehicle);
     if (it == extra_plans_.end() || it->second.issued_at < p.issued_at) {

@@ -1,0 +1,113 @@
+// Proves the indexed reservation tables behavior-preserving: the same
+// operation stream through a linear-reference scheduler
+// (SchedulerConfig::linear_reference_scan) and the default indexed one must
+// yield identical TravelPlans at every step — not just at the end, so the
+// first divergence points at the exact operation that broke equivalence.
+#include <gtest/gtest.h>
+
+#include "aim/scheduler.h"
+#include "traffic/arrivals.h"
+#include "util/rng.h"
+
+namespace nwade::aim {
+namespace {
+
+using traffic::ArrivalGenerator;
+using traffic::Intersection;
+using traffic::IntersectionConfig;
+using traffic::IntersectionKind;
+
+Intersection make_ix(IntersectionKind kind) {
+  IntersectionConfig cfg;
+  cfg.kind = kind;
+  return Intersection::build(cfg);
+}
+
+/// Drives both schedulers through a dense arrival stream interleaved with
+/// the release/reschedule operations the IM performs, asserting lock-step
+/// equality.
+void run_equivalence(IntersectionKind kind, double vpm, Duration duration_ms,
+                     std::uint64_t seed) {
+  const Intersection ix = make_ix(kind);
+  SchedulerConfig linear_cfg;
+  linear_cfg.linear_reference_scan = true;
+  ReservationScheduler linear(ix, linear_cfg);
+  ReservationScheduler indexed(ix);  // default: indexed tables
+
+  ArrivalGenerator gen(ix, vpm, Rng(seed));
+  const auto arrivals = gen.generate(duration_ms);
+  ASSERT_FALSE(arrivals.empty());
+
+  std::vector<std::pair<VehicleId, int>> scheduled;  // (vehicle, route)
+  std::uint64_t next_id = 1;
+  for (std::size_t i = 0; i < arrivals.size(); ++i) {
+    const auto& a = arrivals[i];
+    const VehicleId id{next_id++};
+    const TravelPlan pl =
+        linear.schedule(id, a.route_id, a.traits, a.time, a.initial_speed_mps);
+    const TravelPlan pi =
+        indexed.schedule(id, a.route_id, a.traits, a.time, a.initial_speed_mps);
+    ASSERT_EQ(pl, pi) << "schedule() diverged at arrival " << i;
+    scheduled.emplace_back(id, a.route_id);
+
+    // Interleave the IM's maintenance ops so the equivalence also covers
+    // erase + compaction paths, not just inserts.
+    if (i % 17 == 16) {
+      const auto& victim = scheduled[i / 2];
+      linear.release_vehicle(victim.first);
+      indexed.release_vehicle(victim.first);
+    }
+    if (i % 29 == 28) {
+      linear.release_before(a.time - 60'000);
+      indexed.release_before(a.time - 60'000);
+    }
+    if (i % 23 == 22) {
+      const auto& v = scheduled[i / 3];
+      const Tick now = a.time + 500;
+      const TravelPlan rl =
+          linear.reschedule(v.first, v.second, arrivals[i / 3].traits, now, 5.0);
+      const TravelPlan ri =
+          indexed.reschedule(v.first, v.second, arrivals[i / 3].traits, now, 5.0);
+      ASSERT_EQ(rl, ri) << "reschedule() diverged at arrival " << i;
+    }
+    ASSERT_EQ(linear.reservation_count(), indexed.reservation_count())
+        << "reservation tables diverged at arrival " << i;
+  }
+
+  // Recovery replans every survivor from scratch against rebuilt tables.
+  std::vector<ActiveVehicle> active;
+  for (std::size_t i = 0; i < std::min<std::size_t>(scheduled.size(), 12); ++i) {
+    ActiveVehicle v;
+    v.id = scheduled[i].first;
+    v.route_id = scheduled[i].second;
+    v.s = 3.0 * static_cast<double>(i);
+    v.v_mps = 6.0;
+    active.push_back(v);
+  }
+  const Tick t_rec = arrivals.back().time + 10'000;
+  const auto rec_l = linear.plan_recovery(active, t_rec);
+  const auto rec_i = indexed.plan_recovery(active, t_rec);
+  ASSERT_EQ(rec_l.size(), rec_i.size());
+  for (std::size_t i = 0; i < rec_l.size(); ++i) {
+    ASSERT_EQ(rec_l[i], rec_i[i]) << "plan_recovery() diverged at plan " << i;
+  }
+}
+
+TEST(SchedulerEquivalence, DenseCross4) {
+  run_equivalence(IntersectionKind::kCross4, 120, 5 * 60'000, 11);
+}
+
+TEST(SchedulerEquivalence, DenseRoundabout3) {
+  run_equivalence(IntersectionKind::kRoundabout3, 120, 3 * 60'000, 22);
+}
+
+TEST(SchedulerEquivalence, Irregular5) {
+  run_equivalence(IntersectionKind::kIrregular5, 90, 3 * 60'000, 33);
+}
+
+TEST(SchedulerEquivalence, Ddi4) {
+  run_equivalence(IntersectionKind::kDdi4, 100, 3 * 60'000, 44);
+}
+
+}  // namespace
+}  // namespace nwade::aim

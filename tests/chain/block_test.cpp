@@ -38,7 +38,7 @@ TEST_F(BlockTest, PackageProducesValidBlock) {
   const Block b = make_block(0, {}, 5);
   EXPECT_TRUE(b.verify_signature(*signer_.verifier()));
   EXPECT_TRUE(b.verify_merkle());
-  EXPECT_EQ(b.plans.size(), 5u);
+  EXPECT_EQ(b.plans().size(), 5u);
 }
 
 TEST_F(BlockTest, EmptyBlockIsValid) {
@@ -49,14 +49,14 @@ TEST_F(BlockTest, EmptyBlockIsValid) {
 
 TEST_F(BlockTest, TamperedPlanBreaksMerkle) {
   Block b = make_block(0, {}, 4);
-  b.plans[2].segments[0].v_mps = 99.0;  // forged instruction
+  b.mutable_plans()[2].segments[0].v_mps = 99.0;  // forged instruction
   EXPECT_FALSE(b.verify_merkle());
   EXPECT_TRUE(b.verify_signature(*signer_.verifier()));  // header untouched
 }
 
 TEST_F(BlockTest, SwappedPlansBreakMerkle) {
   Block b = make_block(0, {}, 4);
-  std::swap(b.plans[0], b.plans[1]);
+  { auto& ps = b.mutable_plans(); std::swap(ps[0], ps[1]); };
   EXPECT_FALSE(b.verify_merkle());
 }
 
@@ -100,15 +100,15 @@ TEST_F(BlockTest, PlanLookup) {
 
 TEST_F(BlockTest, MerkleProofForPlan) {
   const Block b = make_block(0, {}, 7);
-  for (std::size_t i = 0; i < b.plans.size(); ++i) {
+  for (std::size_t i = 0; i < b.plans().size(); ++i) {
     const auto proof = b.prove_plan(i);
     EXPECT_TRUE(
-        crypto::MerkleTree::verify(b.plans[i].serialize(), proof, b.merkle_root));
+        crypto::MerkleTree::verify(b.plans()[i].serialize(), proof, b.merkle_root));
   }
   // Proof does not validate a different plan.
   const auto proof0 = b.prove_plan(0);
   EXPECT_FALSE(
-      crypto::MerkleTree::verify(b.plans[1].serialize(), proof0, b.merkle_root));
+      crypto::MerkleTree::verify(b.plans()[1].serialize(), proof0, b.merkle_root));
 }
 
 TEST_F(BlockTest, SerializationRoundTrip) {
@@ -120,7 +120,7 @@ TEST_F(BlockTest, SerializationRoundTrip) {
   EXPECT_EQ(back->prev_hash, b.prev_hash);
   EXPECT_EQ(back->merkle_root, b.merkle_root);
   EXPECT_EQ(back->timestamp, b.timestamp);
-  ASSERT_EQ(back->plans.size(), b.plans.size());
+  ASSERT_EQ(back->plans().size(), b.plans().size());
   EXPECT_TRUE(back->verify_signature(*signer_.verifier()));
   EXPECT_TRUE(back->verify_merkle());
   EXPECT_EQ(back->hash(), b.hash());

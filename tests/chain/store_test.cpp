@@ -54,7 +54,7 @@ TEST_F(StoreTest, RejectsBadSignature) {
 TEST_F(StoreTest, RejectsTamperedPlans) {
   BlockStore store;
   Block b = next_block();
-  b.plans[0].segments[0].v_mps = 60;
+  b.mutable_plans()[0].segments[0].v_mps = 60;
   const auto result = store.append(b, *signer_.verifier());
   ASSERT_FALSE(result);
   EXPECT_EQ(result.error(), ChainError::kBadMerkleRoot);
