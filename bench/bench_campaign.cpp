@@ -1,0 +1,164 @@
+// Thread-scaling driver for the deterministic campaign engine.
+//
+// Runs one fixed experiment matrix through sim::run_campaign at pool sizes
+// 1, 2, 4, and 8 and times each sweep. Before any timing, it asserts the
+// engine's core contract: the deterministic results JSON
+// (sim::campaign_results_json) is byte-identical at every pool size — the
+// pool may only change the wall clock, never a result byte.
+//
+// Interpreting the numbers: wall-clock speedup is bounded by the cores the
+// host actually has, which is why the envelope records
+// hardware_concurrency (a 1-core container shows ~1.0x at every pool size
+// by physics, not by defect — the determinism assertion is the part that
+// must hold everywhere).
+//
+// Emits BENCH_campaign.json in the nwade-bench-v1 envelope (support.h).
+// `--smoke` shrinks every dimension and validates the JSON round-trip; the
+// perf/chaos-labeled ctest entry runs that mode (under TSan in the chaos
+// build, which is what proves the fan-out data-race-free).
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "sim/campaign.h"
+#include "support.h"
+
+namespace {
+
+using namespace nwade;
+
+struct Options {
+  bool smoke{false};
+};
+
+sim::CampaignConfig matrix(bool smoke) {
+  sim::CampaignConfig cfg;
+  if (smoke) {
+    cfg.kinds = {traffic::IntersectionKind::kCross4};
+    cfg.attacks = {"benign"};
+    cfg.densities_vpm = {60.0};
+    cfg.rounds = 2;
+    cfg.duration_ms = 5'000;
+  } else {
+    cfg.kinds = {traffic::IntersectionKind::kCross4,
+                 traffic::IntersectionKind::kRoundabout3};
+    cfg.attacks = {"benign", "V1"};
+    cfg.densities_vpm = {80.0, 120.0};
+    cfg.rounds = 1;
+    cfg.duration_ms = 60'000;
+  }
+  cfg.base_seed = 1;
+  return cfg;
+}
+
+int run(const Options& opt) {
+  const auto t_start = std::chrono::steady_clock::now();
+  sim::CampaignConfig cfg = matrix(opt.smoke);
+  const std::size_t cells = sim::expand_cells(cfg).size();
+  const std::vector<int> pools = opt.smoke ? std::vector<int>{1, 2}
+                                           : std::vector<int>{1, 2, 4, 8};
+  const int warmup = opt.smoke ? 0 : 1;
+  const int reps = opt.smoke ? 1 : 5;
+
+  // Determinism gate first: every pool size must reproduce the pool-1
+  // results byte for byte, or the timings below compare different work.
+  cfg.threads = 1;
+  const std::string reference =
+      sim::campaign_results_json(cfg, sim::run_campaign(cfg));
+  for (const int pool : pools) {
+    cfg.threads = pool;
+    const std::string got =
+        sim::campaign_results_json(cfg, sim::run_campaign(cfg));
+    if (got != reference) {
+      std::fprintf(stderr,
+                   "FAIL: pool size %d produced different campaign results "
+                   "than pool size 1 — determinism contract broken\n",
+                   pool);
+      return 1;
+    }
+  }
+  std::printf("determinism: %zu-cell results byte-identical across pools {",
+              cells);
+  for (std::size_t i = 0; i < pools.size(); ++i) {
+    std::printf("%s%d", i ? ", " : "", pools[i]);
+  }
+  std::printf("}\n");
+
+  std::vector<std::string> phases;
+  double median_pool1 = 0;
+  double median_last = 0;
+  for (const int pool : pools) {
+    cfg.threads = pool;
+    const auto stats = bench::timed_median(warmup, reps, [&] {
+      const auto results = sim::run_campaign(cfg);
+      if (results.size() != cells) std::abort();
+    });
+    std::printf("pool %d: %zu cells in %.2f ms median\n", pool, cells,
+                stats.median_ms);
+    phases.push_back(
+        bench::json_phase("campaign_pool" + std::to_string(pool), stats));
+    if (pool == 1) median_pool1 = stats.median_ms;
+    median_last = stats.median_ms;
+  }
+  const double speedup =
+      median_last > 0 ? median_pool1 / median_last : 0;
+  phases.push_back(bench::json_speedup(
+      "campaign_pool" + std::to_string(pools.back()) + "_vs_pool1", speedup));
+
+  std::string pool_list;
+  for (std::size_t i = 0; i < pools.size(); ++i) {
+    if (i) pool_list += ",";
+    pool_list += std::to_string(pools[i]);
+  }
+  const std::vector<std::string> extra = {
+      bench::json_field("campaign_cells", static_cast<double>(cells), 0),
+      bench::json_field("pool_sizes", pool_list),
+      bench::json_field("results_deterministic", std::string("true")),
+  };
+
+  const double wall_s = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - t_start)
+                            .count();
+  const std::string envelope =
+      bench::bench_envelope("campaign", wall_s, phases, extra);
+  if (!bench::json_well_formed(envelope)) {
+    std::fprintf(stderr, "FAIL: emitted envelope is not well-formed JSON\n");
+    return 1;
+  }
+  const std::string path =
+      opt.smoke ? "BENCH_campaign.smoke.json" : "BENCH_campaign.json";
+  if (!bench::write_bench_file(path, envelope)) {
+    std::fprintf(stderr, "FAIL: could not write %s\n", path.c_str());
+    return 1;
+  }
+
+  if (opt.smoke) {
+    std::string back;
+    if (!bench::read_file(path, back) || back != envelope ||
+        !bench::json_well_formed(back)) {
+      std::fprintf(stderr, "FAIL: %s did not round-trip\n", path.c_str());
+      return 1;
+    }
+    std::printf("smoke OK: determinism holds and envelope round-trips\n");
+  } else {
+    std::printf("campaign pool%d vs pool1 speedup: %.2fx "
+                "(hardware_concurrency=%u)\n",
+                pools.back(), speedup, std::thread::hardware_concurrency());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      opt.smoke = true;
+    } else {
+      std::fprintf(stderr, "usage: %s [--smoke]\n", argv[0]);
+      return 2;
+    }
+  }
+  return run(opt);
+}

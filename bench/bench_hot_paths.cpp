@@ -98,8 +98,9 @@ bench::TimingStats time_fanout_uncached(const Bytes& wire,
 }
 
 /// Post-PR shape: one shared Block, fanout_verify over a worker pool. The
-/// cache is cleared every rep so each measurement pays the one real modexp
-/// the fleet shares, not a free ride on the previous rep.
+/// cache is reset (entries AND stats) every rep so each measurement pays
+/// the one real modexp the fleet shares — not a free ride on the previous
+/// rep — and the hit/miss counters describe only the rep being timed.
 bench::TimingStats time_fanout_cached(const chain::Block& block,
                                       const crypto::Verifier& verifier,
                                       int receivers, int pool_threads,
@@ -109,7 +110,7 @@ bench::TimingStats time_fanout_cached(const chain::Block& block,
   util::WorkerPool pool(pool_threads);
   auto& cache = crypto::SigVerifyCache::instance();
   return bench::timed_median(warmup, reps, [&] {
-    cache.clear();
+    cache.reset();
     const auto results = chain::fanout_verify(block, verifiers, pool);
     for (const auto ok : results) {
       if (!ok) std::abort();

@@ -1,0 +1,171 @@
+// Perf-regression driver for spatial-index world stepping.
+//
+// One arrival-saturated mixed-traffic scenario (4-way cross, 1500 veh/min
+// demand, 40% legacy — the junction queues, so ~1700 vehicles accumulate)
+// is run to completion twice: once with ScenarioConfig::quadratic_reference
+// (the original all-pairs sweeps for the ground-truth min-gap audit, the
+// managed and legacy car-following lookups, sensor queries, and the network
+// broadcast range scan) and once with the uniform-grid spatial index that
+// replaced them. Before timing, both modes must produce an identical run
+// summary — the index is only allowed to skip work whose result could not
+// matter, never to change a result.
+//
+// The NWADE security layer is disabled here on purpose: per-packet protocol
+// and crypto costs scale with traffic too and would swamp the geometry
+// (they have their own driver, bench_hot_paths). What remains is exactly
+// the per-step work the quadratic_reference flag toggles.
+//
+// The speedup here is algorithmic (fewer exact distance checks per step),
+// so unlike bench_campaign's thread scaling it shows up on any machine.
+//
+// Emits BENCH_world_step.json in the nwade-bench-v1 envelope (support.h).
+// `--smoke` shrinks the scenario and validates the JSON round-trip; the
+// perf-labeled ctest entry runs that mode.
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "crypto/verify_cache.h"
+#include "support.h"
+
+namespace {
+
+using namespace nwade;
+
+struct Options {
+  bool smoke{false};
+};
+
+sim::ScenarioConfig scenario(bool smoke, bool quadratic) {
+  sim::ScenarioConfig cfg;
+  cfg.intersection.kind = traffic::IntersectionKind::kCross4;
+  cfg.vehicles_per_minute = smoke ? 80 : 1500;
+  cfg.duration_ms = smoke ? 8'000 : 120'000;
+  cfg.legacy_fraction = 0.4;  // exercises both car-following lookups
+  cfg.nwade_enabled = false;  // stepping only; crypto is bench_hot_paths' job
+  cfg.seed = 9;
+  cfg.quadratic_reference = quadratic;
+  return cfg;
+}
+
+/// Every deterministic field of a RunSummary, rendered to a fixed-format
+/// string so two runs can be compared byte for byte (the wall-clock timing
+/// vectors in Metrics are deliberately excluded).
+std::string fingerprint(const sim::RunSummary& s) {
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      "spawned=%d exited=%d thr=%.6f cross=%.6f active=%d gaps=%d "
+      "legacy=%d/%d inc=%d glob=%d alerts=%d false=%d degraded=%d blocks=%d "
+      "sent=%llu delivered=%llu dropped=%llu oor=%llu bytes=%llu",
+      s.metrics.vehicles_spawned, s.metrics.vehicles_exited, s.throughput_vpm,
+      s.mean_crossing_ms, s.active_at_end, s.min_ground_truth_gap_violations,
+      s.legacy_spawned, s.legacy_exited, s.metrics.incident_reports,
+      s.metrics.global_reports, s.metrics.evacuation_alerts,
+      s.metrics.false_alarm_evacuations, s.metrics.degraded_entries,
+      s.metrics.blocks_published,
+      static_cast<unsigned long long>(s.net_stats.packets_sent),
+      static_cast<unsigned long long>(s.net_stats.packets_delivered),
+      static_cast<unsigned long long>(s.net_stats.packets_dropped),
+      static_cast<unsigned long long>(s.net_stats.packets_out_of_range),
+      static_cast<unsigned long long>(s.net_stats.bytes_sent));
+  return buf;
+}
+
+int run(const Options& opt) {
+  const auto t_start = std::chrono::steady_clock::now();
+  const int warmup = opt.smoke ? 0 : 1;
+  const int reps = opt.smoke ? 1 : 5;
+
+  // Equivalence gate first: identical summaries, or the timings below
+  // compare different simulations.
+  const std::string fp_quadratic =
+      fingerprint(sim::World(scenario(opt.smoke, true)).run());
+  const std::string fp_indexed =
+      fingerprint(sim::World(scenario(opt.smoke, false)).run());
+  if (fp_quadratic != fp_indexed) {
+    std::fprintf(stderr,
+                 "FAIL: quadratic and indexed runs diverged\n  quadratic: "
+                 "%s\n  indexed:   %s\n",
+                 fp_quadratic.c_str(), fp_indexed.c_str());
+    return 1;
+  }
+  std::printf("equivalence: quadratic and indexed summaries identical\n  %s\n",
+              fp_indexed.c_str());
+
+  // Phase boundary: start each mode from a pristine process-wide cache so
+  // one phase's memoized verdicts can never skew the other's timings.
+  crypto::SigVerifyCache::instance().reset();
+  const auto quad = bench::timed_median(warmup, reps, [&] {
+    sim::World world(scenario(opt.smoke, true));
+    (void)world.run();
+  });
+  crypto::SigVerifyCache::instance().reset();
+  const auto indexed = bench::timed_median(warmup, reps, [&] {
+    sim::World world(scenario(opt.smoke, false));
+    (void)world.run();
+  });
+  const double speedup =
+      indexed.median_ms > 0 ? quad.median_ms / indexed.median_ms : 0;
+
+  const std::vector<std::string> phases = {
+      bench::json_phase("world_step_quadratic", quad),
+      bench::json_phase("world_step_indexed", indexed),
+      bench::json_speedup("world_step", speedup),
+  };
+  const sim::ScenarioConfig shape = scenario(opt.smoke, false);
+  const std::vector<std::string> extra = {
+      bench::json_field("vehicles_per_minute", shape.vehicles_per_minute, 0),
+      bench::json_field("duration_ms",
+                        static_cast<double>(shape.duration_ms), 0),
+      bench::json_field("legacy_fraction", shape.legacy_fraction, 2),
+      bench::json_field("nwade_enabled", std::string("false")),
+      bench::json_field("summaries_identical", std::string("true")),
+  };
+
+  const double wall_s = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - t_start)
+                            .count();
+  const std::string envelope =
+      bench::bench_envelope("world_step", wall_s, phases, extra);
+  if (!bench::json_well_formed(envelope)) {
+    std::fprintf(stderr, "FAIL: emitted envelope is not well-formed JSON\n");
+    return 1;
+  }
+  const std::string path =
+      opt.smoke ? "BENCH_world_step.smoke.json" : "BENCH_world_step.json";
+  if (!bench::write_bench_file(path, envelope)) {
+    std::fprintf(stderr, "FAIL: could not write %s\n", path.c_str());
+    return 1;
+  }
+
+  if (opt.smoke) {
+    std::string back;
+    if (!bench::read_file(path, back) || back != envelope ||
+        !bench::json_well_formed(back)) {
+      std::fprintf(stderr, "FAIL: %s did not round-trip\n", path.c_str());
+      return 1;
+    }
+    std::printf("smoke OK: equivalence holds and envelope round-trips\n");
+  } else {
+    std::printf("world_step speedup: %.2fx (quadratic %.2f ms -> indexed "
+                "%.2f ms)\n",
+                speedup, quad.median_ms, indexed.median_ms);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      opt.smoke = true;
+    } else {
+      std::fprintf(stderr, "usage: %s [--smoke]\n", argv[0]);
+      return 2;
+    }
+  }
+  return run(opt);
+}

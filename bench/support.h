@@ -13,6 +13,7 @@
 #include <functional>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "sim/world.h"
@@ -138,6 +139,7 @@ inline std::string json_array(const std::vector<std::string>& items,
 //     "schema": "nwade-bench-v1",
 //     "bench": "<driver name>",
 //     "git_sha": "<12-hex or 'unknown'>",
+//     "hardware_concurrency": <std::thread::hardware_concurrency()>,
 //     "wall_clock_s": <total driver runtime>,
 //     "peak_rss_kb": <getrusage ru_maxrss>,
 //     "phases": [
@@ -148,7 +150,12 @@ inline std::string json_array(const std::vector<std::string>& items,
 //   }
 //
 // Phases that report a derived ratio (e.g. before/after speedup) carry a
-// "speedup_x" field instead of the timing triple.
+// "speedup_x" field instead of the timing triple. hardware_concurrency is
+// recorded so thread-scaling numbers (bench_campaign's pool sweep) can be
+// interpreted on the machine that produced them — a 1-core container
+// cannot show wall-clock speedup no matter how parallel the code is.
+// Drivers may append extra top-level context (pool sizes, cell counts) via
+// bench_envelope's `extra_fields`.
 
 /// Warmup + median-of-N timing for one phase. Medians resist the one-off
 /// scheduling hiccups that poison means on shared machines.
@@ -219,16 +226,26 @@ inline std::string json_speedup(const std::string& name, double speedup_x) {
 }
 
 /// Assembles the full nwade-bench-v1 envelope from rendered phase objects.
-inline std::string bench_envelope(const std::string& bench_name,
-                                  double wall_clock_s,
-                                  const std::vector<std::string>& phases) {
+/// `extra_fields` are already-rendered top-level fields (json_field output)
+/// spliced in before "phases" — pool sizes, cell counts, and similar
+/// run-context a comparison tool needs alongside the timings.
+inline std::string bench_envelope(
+    const std::string& bench_name, double wall_clock_s,
+    const std::vector<std::string>& phases,
+    const std::vector<std::string>& extra_fields = {}) {
   std::string out = "{\n";
   out += "  " + json_field("schema", std::string("nwade-bench-v1")) + ",\n";
   out += "  " + json_field("bench", bench_name) + ",\n";
   out += "  " + json_field("git_sha", git_sha()) + ",\n";
+  out += "  " +
+         json_field("hardware_concurrency",
+                    static_cast<double>(std::thread::hardware_concurrency()),
+                    0) +
+         ",\n";
   out += "  " + json_field("wall_clock_s", wall_clock_s, 3) + ",\n";
   out += "  " + json_field("peak_rss_kb",
                            static_cast<double>(peak_rss_kb()), 0) + ",\n";
+  for (const std::string& field : extra_fields) out += "  " + field + ",\n";
   out += "  \"phases\": " + json_array(phases, "    ") + "\n";
   out += "}\n";
   return out;

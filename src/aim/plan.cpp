@@ -191,4 +191,41 @@ std::vector<PlanConflict> find_plan_conflicts(
   return conflicts;
 }
 
+PlanOccupancy plan_occupancy(const traffic::Intersection& intersection,
+                             const TravelPlan& plan, Duration margin_ms) {
+  PlanOccupancy occ;
+  occ.route_id = plan.route_id;
+  const traffic::Route& route = intersection.route(plan.route_id);
+  if (const auto core = occupancy(plan, route.core_begin, route.core_end)) {
+    occ.core = {core->first - margin_ms, core->second + margin_ms};
+  }
+  for (const traffic::ZoneRef& ref : intersection.zones_for(plan.route_id)) {
+    if (const auto zone = occupancy(plan, ref.begin, ref.end)) {
+      occ.zones.emplace_back(
+          ref.zone_id,
+          std::make_pair(zone->first - margin_ms, zone->second + margin_ms));
+    }
+  }
+  return occ;
+}
+
+bool occupancies_conflict(const PlanOccupancy& a, const PlanOccupancy& b) {
+  if (a.route_id == b.route_id) {
+    // Same route: following traffic — only the core (headway) interval is
+    // checked; find_plan_conflicts skips same-route pairs in zone buckets.
+    return a.core && b.core &&
+           overlaps(a.core->first, a.core->second, b.core->first,
+                    b.core->second);
+  }
+  for (const auto& [zone_a, iv_a] : a.zones) {
+    for (const auto& [zone_b, iv_b] : b.zones) {
+      if (zone_a != zone_b) continue;
+      if (overlaps(iv_a.first, iv_a.second, iv_b.first, iv_b.second)) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
 }  // namespace nwade::aim

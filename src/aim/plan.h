@@ -85,4 +85,26 @@ std::vector<PlanConflict> find_plan_conflicts(
     const traffic::Intersection& intersection,
     const std::vector<const TravelPlan*>& plans, Duration margin_ms);
 
+/// One plan's margin-padded occupancy intervals over its route's resources
+/// (the per-route core interval plus every conflict zone it crosses) —
+/// everything find_plan_conflicts derives from a plan, computed once so a
+/// caller testing one plan against many can reuse it instead of re-walking
+/// the plan's segments per pair.
+struct PlanOccupancy {
+  int route_id{-1};
+  /// Core interval [in - margin, out + margin), absent if never entered.
+  std::optional<std::pair<Tick, Tick>> core;
+  /// (zone id, padded interval) for each zone occupied, in zones_for order.
+  std::vector<std::pair<int, std::pair<Tick, Tick>>> zones;
+};
+
+PlanOccupancy plan_occupancy(const traffic::Intersection& intersection,
+                             const TravelPlan& plan, Duration margin_ms);
+
+/// Whether two distinct vehicles' plans conflict — exactly the boolean
+/// `!find_plan_conflicts(ix, {&a, &b}, margin).empty()` computes, evaluated
+/// on precomputed occupancies: same route compares core intervals (headway),
+/// different routes compare shared-zone intervals.
+bool occupancies_conflict(const PlanOccupancy& a, const PlanOccupancy& b);
+
 }  // namespace nwade::aim

@@ -8,13 +8,16 @@ namespace {
 
 class RsaVerifier final : public Verifier {
  public:
-  explicit RsaVerifier(RsaPublicKey pub) : ctx_(std::move(pub)) {}
+  /// `cache` == nullptr memoizes into the process-wide instance; a non-null
+  /// cache scopes the verdicts to one run (campaign isolation).
+  explicit RsaVerifier(RsaPublicKey pub, SigVerifyCache* cache = nullptr)
+      : ctx_(std::move(pub)), cache_(cache) {}
   bool verify(std::span<const std::uint8_t> msg,
               std::span<const std::uint8_t> sig) const override {
-    // One modexp per distinct (key, msg, sig) process-wide: every other
+    // One modexp per distinct (key, msg, sig) per cache: every other
     // receiver of the same broadcast block hits the cache. Pure-function
     // caching, so the answer is identical either way.
-    auto& cache = SigVerifyCache::instance();
+    auto& cache = cache_ != nullptr ? *cache_ : SigVerifyCache::instance();
     const Digest key = SigVerifyCache::key_of(ctx_.fingerprint(), msg, sig);
     if (const auto cached = cache.lookup(key)) return *cached;
     const bool ok = ctx_.verify(msg, sig);
@@ -24,6 +27,7 @@ class RsaVerifier final : public Verifier {
 
  private:
   RsaVerifyContext ctx_;
+  SigVerifyCache* cache_;
 };
 
 class HmacVerifier final : public Verifier {
@@ -54,6 +58,11 @@ Bytes RsaSigner::sign(std::span<const std::uint8_t> msg) const {
 }
 
 std::shared_ptr<const Verifier> RsaSigner::verifier() const { return verifier_; }
+
+std::shared_ptr<const Verifier> RsaSigner::verifier_with_cache(
+    SigVerifyCache& cache) const {
+  return std::make_shared<RsaVerifier>(key_.pub, &cache);
+}
 
 HmacSigner::HmacSigner(Bytes key)
     : key_(std::move(key)), verifier_(std::make_shared<HmacVerifier>(key_)) {}

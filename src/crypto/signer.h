@@ -12,6 +12,8 @@
 
 namespace nwade::crypto {
 
+class SigVerifyCache;
+
 /// Verification half of a signer; safe to share between many vehicles.
 class Verifier {
  public:
@@ -26,6 +28,18 @@ class Signer {
   virtual ~Signer() = default;
   virtual Bytes sign(std::span<const std::uint8_t> msg) const = 0;
   virtual std::shared_ptr<const Verifier> verifier() const = 0;
+
+  /// A verifier whose memoized verdicts live in `cache` instead of the
+  /// process-wide `SigVerifyCache::instance()`. Multi-run hosts (the
+  /// campaign engine) hand each run its own cache so concurrent worlds
+  /// neither contend on one mutex set nor observe each other's verdicts.
+  /// `cache` must outlive the returned verifier. Signers that do not
+  /// memoize (HMAC) return their plain verifier.
+  virtual std::shared_ptr<const Verifier> verifier_with_cache(
+      SigVerifyCache& cache) const {
+    (void)cache;
+    return verifier();
+  }
 };
 
 /// Real RSA signer (paper setting: 2048-bit key, SHA-256).
@@ -38,6 +52,8 @@ class RsaSigner final : public Signer {
 
   Bytes sign(std::span<const std::uint8_t> msg) const override;
   std::shared_ptr<const Verifier> verifier() const override;
+  std::shared_ptr<const Verifier> verifier_with_cache(
+      SigVerifyCache& cache) const override;
 
   const RsaPublicKey& public_key() const { return key_.pub; }
 

@@ -1,5 +1,7 @@
 #include "crypto/verify_cache.h"
 
+#include <limits>
+
 #include "util/bytes.h"
 
 namespace nwade::crypto {
@@ -24,64 +26,105 @@ Digest SigVerifyCache::key_of(const Digest& verifier_fingerprint,
 }
 
 std::optional<bool> SigVerifyCache::lookup(const Digest& key) {
-  std::lock_guard<std::mutex> lock(mu_);
-  const auto it = entries_.find(key);
-  if (it == entries_.end()) {
-    ++stats_.misses;
-    return std::nullopt;
+  Shard& shard = shard_of(key);
+  std::optional<bool> verdict;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    const auto it = shard.entries.find(key);
+    if (it != shard.entries.end()) verdict = it->second.ok;
   }
-  ++stats_.hits;
-  return it->second;
+  if (verdict) {
+    hits_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return verdict;
 }
 
 void SigVerifyCache::store(const Digest& key, bool ok) {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (capacity_ == 0) return;
-  const auto [it, inserted] = entries_.emplace(key, ok);
-  if (!inserted) return;
-  insertion_order_.push_back(key);
-  ++stats_.insertions;
-  evict_to_capacity_locked();
+  if (capacity_.load(std::memory_order_relaxed) == 0) return;
+  Shard& shard = shard_of(key);
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    const auto [it, inserted] = shard.entries.try_emplace(key);
+    if (!inserted) return;
+    it->second.ok = ok;
+    it->second.seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
+    shard.order.emplace_back(it->second.seq, key);
+  }
+  size_.fetch_add(1, std::memory_order_relaxed);
+  insertions_.fetch_add(1, std::memory_order_relaxed);
+  evict_to_capacity();
 }
 
 void SigVerifyCache::clear() {
-  std::lock_guard<std::mutex> lock(mu_);
-  entries_.clear();
-  insertion_order_.clear();
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    size_.fetch_sub(shard.entries.size(), std::memory_order_relaxed);
+    shard.entries.clear();
+    shard.order.clear();
+  }
 }
 
-std::size_t SigVerifyCache::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return entries_.size();
-}
-
-std::size_t SigVerifyCache::capacity() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return capacity_;
+void SigVerifyCache::reset() {
+  clear();
+  reset_stats();
 }
 
 void SigVerifyCache::set_capacity(std::size_t capacity) {
-  std::lock_guard<std::mutex> lock(mu_);
-  capacity_ = capacity;
-  evict_to_capacity_locked();
+  capacity_.store(capacity, std::memory_order_relaxed);
+  evict_to_capacity();
 }
 
 SigVerifyCache::Stats SigVerifyCache::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return stats_;
+  Stats s;
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.misses = misses_.load(std::memory_order_relaxed);
+  s.insertions = insertions_.load(std::memory_order_relaxed);
+  s.evictions = evictions_.load(std::memory_order_relaxed);
+  return s;
 }
 
 void SigVerifyCache::reset_stats() {
-  std::lock_guard<std::mutex> lock(mu_);
-  stats_ = Stats{};
+  hits_.store(0, std::memory_order_relaxed);
+  misses_.store(0, std::memory_order_relaxed);
+  insertions_.store(0, std::memory_order_relaxed);
+  evictions_.store(0, std::memory_order_relaxed);
 }
 
-void SigVerifyCache::evict_to_capacity_locked() {
-  while (entries_.size() > capacity_ && !insertion_order_.empty()) {
-    entries_.erase(insertion_order_.front());
-    insertion_order_.pop_front();
-    ++stats_.evictions;
+void SigVerifyCache::evict_to_capacity() {
+  while (size_.load(std::memory_order_relaxed) >
+         capacity_.load(std::memory_order_relaxed)) {
+    if (!evict_globally_oldest()) return;
   }
+}
+
+bool SigVerifyCache::evict_globally_oldest() {
+  // Pass 1: peek every shard's FIFO head (one short lock each) to find the
+  // globally-oldest entry. Pass 2: evict that shard's current head. Under
+  // concurrent stores the head may have changed between passes — evicting
+  // whatever now heads the chosen shard keeps the size bound exact and the
+  // order per-shard FIFO, which is all the concurrent contract promises.
+  std::size_t best_shard = kShards;
+  std::uint64_t best_seq = std::numeric_limits<std::uint64_t>::max();
+  for (std::size_t i = 0; i < kShards; ++i) {
+    std::lock_guard<std::mutex> lock(shards_[i].mu);
+    if (!shards_[i].order.empty() && shards_[i].order.front().first < best_seq) {
+      best_seq = shards_[i].order.front().first;
+      best_shard = i;
+    }
+  }
+  if (best_shard == kShards) return false;  // raced with clear(); nothing left
+
+  Shard& shard = shards_[best_shard];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  if (shard.order.empty()) return true;  // retry the sweep
+  const Digest victim = shard.order.front().second;
+  shard.order.pop_front();
+  shard.entries.erase(victim);
+  size_.fetch_sub(1, std::memory_order_relaxed);
+  evictions_.fetch_add(1, std::memory_order_relaxed);
+  return true;
 }
 
 }  // namespace nwade::crypto

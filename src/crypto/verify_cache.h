@@ -1,4 +1,4 @@
-// Process-wide digest-keyed signature-verification cache.
+// Digest-keyed signature-verification cache.
 //
 // A NWADE broadcast makes every vehicle node verify the *same* block bytes
 // against the *same* IM public key: N receivers, N identical modexps. Since
@@ -17,12 +17,23 @@
 //     entirely (every lookup misses, stores are dropped) — used by benches
 //     to measure the uncached path.
 //
-// The cache is a deliberate process-wide singleton: vehicle nodes are cheap
-// value objects, and threading a cache handle through every constructor
-// would hand each node a private cache — exactly the sharing the
-// optimization exists to provide. Thread-safe (single mutex).
+// Concurrency: entries live in `kShards` independently-locked shards (the
+// shard is picked from the key digest, which is uniform), and the hit/miss/
+// insertion/eviction counters are atomics, so concurrent worlds in a
+// campaign never serialize on one mutex. Eviction order is exact global
+// FIFO under single-threaded use (each entry carries a global insertion
+// sequence and the globally-oldest head is evicted first); under concurrent
+// stores it degrades gracefully to per-shard FIFO with a bounded total size.
+//
+// Ownership: `instance()` is the process-wide default that single-run paths
+// (one World per process, micro benches, tests) share. Multi-run hosts —
+// the campaign engine running many worlds concurrently — construct one
+// cache per run and inject it via `Signer::verifier_with_cache()`, so
+// memoized verdicts can neither race nor leak across runs.
 #pragma once
 
+#include <array>
+#include <atomic>
 #include <cstdint>
 #include <cstring>
 #include <deque>
@@ -45,11 +56,13 @@ class SigVerifyCache {
   };
 
   static constexpr std::size_t kDefaultCapacity = 4096;
+  static constexpr std::size_t kShards = 16;
 
   explicit SigVerifyCache(std::size_t capacity = kDefaultCapacity)
       : capacity_(capacity) {}
 
-  /// The shared process-wide instance used by RsaVerifier.
+  /// The shared process-wide instance used by verifiers that were not handed
+  /// a cache of their own.
   static SigVerifyCache& instance();
 
   /// Cache key: SHA-256 over (verifier fingerprint, message, signature),
@@ -65,11 +78,17 @@ class SigVerifyCache {
   /// a key already present (verdicts are pure, so the value cannot differ).
   void store(const Digest& key, bool ok);
 
+  /// Drops every entry; the stats survive.
   void clear();
 
+  /// Back to a pristine cache: no entries, zeroed stats. Benches call this
+  /// between phases so memoized verdicts from one phase cannot skew the
+  /// hit/miss accounting (or the timings) of the next.
+  void reset();
+
   /// Live entry count (≤ capacity).
-  std::size_t size() const;
-  std::size_t capacity() const;
+  std::size_t size() const { return size_.load(std::memory_order_relaxed); }
+  std::size_t capacity() const { return capacity_.load(std::memory_order_relaxed); }
   /// Shrinks immediately if the new capacity is smaller; 0 disables caching.
   void set_capacity(std::size_t capacity);
 
@@ -87,13 +106,35 @@ class SigVerifyCache {
     }
   };
 
-  void evict_to_capacity_locked();
+  struct Entry {
+    bool ok{false};
+    std::uint64_t seq{0};  ///< global insertion sequence (FIFO eviction order)
+  };
 
-  mutable std::mutex mu_;
-  std::size_t capacity_;
-  std::unordered_map<Digest, bool, DigestHash> entries_;
-  std::deque<Digest> insertion_order_;  ///< FIFO eviction queue
-  Stats stats_;
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<Digest, Entry, DigestHash> entries;
+    /// Per-shard FIFO of (seq, key); always in sync with `entries` (pops and
+    /// erases happen under the same lock).
+    std::deque<std::pair<std::uint64_t, Digest>> order;
+  };
+
+  Shard& shard_of(const Digest& key) {
+    // Byte 8 so the shard index never correlates with DigestHash's bytes 0-7.
+    return shards_[key[8] % kShards];
+  }
+
+  void evict_to_capacity();
+  bool evict_globally_oldest();
+
+  std::atomic<std::size_t> capacity_;
+  std::atomic<std::size_t> size_{0};
+  std::atomic<std::uint64_t> next_seq_{0};
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> insertions_{0};
+  std::atomic<std::uint64_t> evictions_{0};
+  std::array<Shard, kShards> shards_;
 };
 
 }  // namespace nwade::crypto

@@ -1,0 +1,67 @@
+#include "geom/spatial_hash.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace nwade::geom {
+
+SpatialHash::SpatialHash(double cell_size) : cell_size_(cell_size) {
+  assert(cell_size_ > 0);
+}
+
+void SpatialHash::set_cell_size(double cell_size) {
+  assert(cell_size > 0);
+  cell_size_ = cell_size;
+  clear();
+}
+
+void SpatialHash::clear() {
+  points_.clear();
+  cells_.clear();
+}
+
+void SpatialHash::reserve(std::size_t points) { points_.reserve(points); }
+
+std::int64_t SpatialHash::cell_coord(double v) const {
+  return static_cast<std::int64_t>(std::floor(v / cell_size_));
+}
+
+std::size_t SpatialHash::insert(Vec2 pos) {
+  const std::size_t index = points_.size();
+  points_.push_back(pos);
+  cells_[pack(cell_coord(pos.x), cell_coord(pos.y))].push_back(index);
+  return index;
+}
+
+void SpatialHash::query_candidates(Vec2 center, double radius,
+                                   std::vector<std::size_t>& out) const {
+  if (radius < 0 || points_.empty()) return;
+  const std::int64_t x0 = cell_coord(center.x - radius);
+  const std::int64_t x1 = cell_coord(center.x + radius);
+  const std::int64_t y0 = cell_coord(center.y - radius);
+  const std::int64_t y1 = cell_coord(center.y + radius);
+
+  // A disc wider than the populated grid degenerates to "everything"; skip
+  // the per-cell walk and hand back all indices (already ascending).
+  const std::uint64_t span =
+      static_cast<std::uint64_t>(x1 - x0 + 1) * static_cast<std::uint64_t>(y1 - y0 + 1);
+  if (span >= cells_.size() * 2 + 1) {
+    const std::size_t base = out.size();
+    out.resize(base + points_.size());
+    for (std::size_t i = 0; i < points_.size(); ++i) out[base + i] = i;
+    return;
+  }
+
+  const std::size_t base = out.size();
+  for (std::int64_t cx = x0; cx <= x1; ++cx) {
+    for (std::int64_t cy = y0; cy <= y1; ++cy) {
+      const auto it = cells_.find(pack(cx, cy));
+      if (it == cells_.end()) continue;
+      out.insert(out.end(), it->second.begin(), it->second.end());
+    }
+  }
+  std::sort(out.begin() + static_cast<std::ptrdiff_t>(base), out.end());
+}
+
+}  // namespace nwade::geom

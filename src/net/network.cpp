@@ -1,8 +1,19 @@
 #include "net/network.h"
 
+#include <algorithm>
 #include <cassert>
 
 namespace nwade::net {
+
+namespace {
+/// Padding added to grid-backed broadcast queries. The snapshot can be up to
+/// one physics step old (broadcasts fired mid-step see vehicles that moved
+/// after the snapshot), so the pad must exceed the farthest a vehicle can
+/// travel in one step — ~2.3 m at 50 mph and the 100 ms default step. 60 m
+/// covers steps beyond a second with a wide margin and costs only a slightly
+/// larger candidate set; the exact range check always uses live positions.
+constexpr double kGridSlackM = 60.0;
+}  // namespace
 
 Network::Network(EventQueue& queue, SimClock& clock, NetworkConfig config)
     : queue_(queue), clock_(clock), config_(std::move(config)), rng_(config_.seed) {}
@@ -10,9 +21,13 @@ Network::Network(EventQueue& queue, SimClock& clock, NetworkConfig config)
 void Network::add_node(Node* node) {
   assert(node != nullptr);
   nodes_[node->node_id()] = node;
+  ++membership_epoch_;
 }
 
-void Network::remove_node(NodeId id) { nodes_.erase(id); }
+void Network::remove_node(NodeId id) {
+  nodes_.erase(id);
+  ++membership_epoch_;
+}
 
 bool Network::in_range(NodeId a, NodeId b) const {
   const auto ita = nodes_.find(a);
@@ -120,17 +135,73 @@ void Network::unicast(NodeId from, NodeId to, MessagePtr msg) {
                          std::move(msg), origin});
 }
 
+void Network::rebuild_grid() {
+  grid_.clear();
+  grid_ids_.clear();
+  grid_.reserve(nodes_.size());
+  grid_ids_.reserve(nodes_.size());
+  for (const auto& [id, node] : nodes_) {
+    grid_.insert(node->position());
+    grid_ids_.push_back(id);
+  }
+  grid_built_at_ = clock_.now();
+  grid_epoch_ = membership_epoch_;
+}
+
+void Network::collect_receivers(NodeId from, geom::Vec2 origin,
+                                std::vector<NodeId>& out) {
+  // Delivery order MUST stay byte-identical to the original scan: envelopes
+  // enqueue (and the loss model draws randomness) in this order, so any
+  // reordering reassigns which packet copies the channel eats and perturbs
+  // every seeded lossy run. That is why the grid is used as a candidate
+  // pre-filter inside the reference iteration order rather than as the
+  // iteration itself.
+  bool indexed = !config_.quadratic_reference;
+  if (indexed) {
+    if (grid_built_at_ != clock_.now() || grid_epoch_ != membership_epoch_) {
+      rebuild_grid();
+    }
+    grid_scratch_.clear();
+    grid_.query_candidates(origin, config_.comm_radius_m + kGridSlackM,
+                           grid_scratch_);
+    if (grid_scratch_.size() == grid_ids_.size()) {
+      // Dense regime: the padded disc covers every node, so the filter can
+      // reject nothing — skip building the candidate set and run the plain
+      // scan (identical result either way; this is purely a cost call).
+      indexed = false;
+    } else {
+      candidates_.clear();
+      for (const std::size_t idx : grid_scratch_) {
+        candidates_.insert(grid_ids_[idx]);
+      }
+    }
+  }
+  out.clear();
+  for (const auto& [id, node] : nodes_) {
+    if (id == from) continue;
+    // Superset contract: a node the padded grid query misses moved at most
+    // kGridSlackM since the snapshot, so its live position is certainly out
+    // of range — the exact check below could only have rejected it.
+    if (indexed && !candidates_.contains(id)) {
+      stats_.packets_out_of_range++;  // same accounting as unicast
+      continue;
+    }
+    if (node->position().distance_to(origin) > config_.comm_radius_m) {
+      stats_.packets_out_of_range++;  // same accounting as unicast
+      continue;
+    }
+    out.push_back(id);
+  }
+}
+
 void Network::broadcast(NodeId from, MessagePtr msg) {
   assert(msg != nullptr);
   const auto sender = nodes_.find(from);
   if (sender == nodes_.end()) return;
   const geom::Vec2 origin = sender->second->position();
-  for (const auto& [id, node] : nodes_) {
-    if (id == from) continue;
-    if (node->position().distance_to(origin) > config_.comm_radius_m) {
-      stats_.packets_out_of_range++;  // same accounting as unicast
-      continue;
-    }
+  std::vector<NodeId> receivers;
+  collect_receivers(from, origin, receivers);
+  for (const NodeId id : receivers) {
     deliver_later(Envelope{from, id, /*broadcast=*/true, clock_.now(), msg, origin});
   }
 }

@@ -12,7 +12,10 @@
 #include <memory>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
+#include <vector>
 
+#include "geom/spatial_hash.h"
 #include "geom/vec2.h"
 #include "net/clock.h"
 #include "net/fault.h"
@@ -68,6 +71,12 @@ struct NetworkConfig {
   std::uint64_t seed{1};
   /// Fault-injection profile; all features default to off.
   FaultProfile fault;
+  /// true = broadcast range-checks every node with the original brute-force
+  /// loop instead of pre-filtering through the uniform-grid index. Kept
+  /// purely as the equivalence/bench baseline (same pattern as
+  /// SchedulerConfig::linear_reference_scan); both paths deliver to the
+  /// identical receiver set in the identical order.
+  bool quadratic_reference{false};
 };
 
 /// Cumulative traffic statistics; one packet = one (sender, receiver) copy.
@@ -115,6 +124,12 @@ class Network {
   bool packet_lost(const Envelope& env);
   void count_drop(const Envelope& env);
   void schedule_delivery(const Envelope& env, Tick arrival);
+  /// Fills `out` with the ids of every registered node (sender excluded)
+  /// whose *current* position is within the communication radius of
+  /// `origin`, ascending. Grid-accelerated unless quadratic_reference.
+  void collect_receivers(NodeId from, geom::Vec2 origin,
+                         std::vector<NodeId>& out);
+  void rebuild_grid();
 
   EventQueue& queue_;
   SimClock& clock_;
@@ -123,6 +138,18 @@ class Network {
   std::unordered_map<NodeId, Node*> nodes_;
   NetworkStats stats_;
   bool ge_bad_{false};  ///< Gilbert–Elliott channel state
+
+  // Broadcast-scan index: node positions snapshotted at most once per
+  // (tick, membership change). Queries pad the radius by kGridSlackM, so a
+  // node that moved since the snapshot (mid-step broadcasts) still shows up
+  // as a candidate; the exact range check always runs on live positions.
+  geom::SpatialHash grid_{64.0};
+  std::vector<NodeId> grid_ids_;          ///< grid index -> node id
+  std::vector<std::size_t> grid_scratch_; ///< reused candidate buffer
+  std::unordered_set<NodeId> candidates_; ///< reused candidate id set
+  Tick grid_built_at_{-1};
+  std::uint64_t membership_epoch_{0};     ///< bumped by add/remove_node
+  std::uint64_t grid_epoch_{~0ULL};       ///< membership epoch at build time
 };
 
 }  // namespace nwade::net

@@ -181,6 +181,11 @@ void ImNode::publish_block(std::vector<aim::TravelPlan> plans, bool count_timing
 
 std::vector<aim::TravelPlan> ImNode::track_unmanaged(Tick now) {
   std::vector<aim::TravelPlan> fresh;
+  // Managed-plan occupancies computed at most once per refresh (dropped when
+  // a replan changes the plan). The conflict test against every prediction
+  // below used to rebuild both plans' occupancy tables per pair, which made
+  // the refresh quadratic-with-a-heavy-constant in (legacy x managed).
+  std::map<VehicleId, aim::PlanOccupancy> occ_cache;
   const auto seen = ctx_.sensors->sense_around(
       {0, 0}, ctx_.config->im_perception_radius_m, VehicleId{});
   for (const Observation& obs : seen) {
@@ -272,11 +277,16 @@ std::vector<aim::TravelPlan> ImNode::track_unmanaged(Tick now) {
     // accelerates (it never negotiates); on every refresh, any managed plan
     // that now collides with the prediction is rescheduled around it.
     {
+      const aim::PlanOccupancy virtual_occ =
+          aim::plan_occupancy(*ctx_.intersection, plan, 250);
       std::vector<VehicleId> to_replan;
       for (const auto& [vid, mp] : active_plans_) {
         if (vid == obs.id || mp.unmanaged || mp.evacuation) continue;
-        const std::vector<const aim::TravelPlan*> pair = {&plan, &mp};
-        if (!aim::find_plan_conflicts(*ctx_.intersection, pair, 250).empty()) {
+        const auto it = occ_cache.try_emplace(vid).first;
+        if (it->second.route_id < 0) {
+          it->second = aim::plan_occupancy(*ctx_.intersection, mp, 250);
+        }
+        if (aim::occupancies_conflict(virtual_occ, it->second)) {
           to_replan.push_back(vid);
         }
       }
@@ -286,6 +296,7 @@ std::vector<aim::TravelPlan> ImNode::track_unmanaged(Tick now) {
         aim::TravelPlan replacement = scheduler_.reschedule(
             vid, old_plan.route_id, old_plan.traits, now, cur_s);
         active_plans_[vid] = replacement;
+        occ_cache.erase(vid);  // recomputed lazily if a later pair needs it
         fresh.push_back(std::move(replacement));
       }
     }

@@ -1,0 +1,209 @@
+#include "sim/campaign.h"
+
+#include <cstdio>
+#include <thread>
+
+#include "nwade/config.h"
+#include "util/worker_pool.h"
+
+namespace nwade::sim {
+
+namespace {
+
+// Local fixed-precision JSON rendering: identical doubles render to
+// identical bytes, which the cross-pool-size determinism guarantee relies
+// on (bench/support.h is a bench-only header, so the engine carries its own
+// minimal emitter).
+std::string num(double v, int precision = 3) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string num(std::uint64_t v) { return std::to_string(v); }
+std::string num(int v) { return std::to_string(v); }
+
+std::string cell_row(const CellResult& r) {
+  const auto& m = r.summary.metrics;
+  const auto& n = r.summary.net_stats;
+  const auto detection = m.deviation_detection_time();
+  std::string out = "{";
+  out += "\"kind\": \"" + std::string(intersection_name(r.cell.kind)) + "\", ";
+  out += "\"attack\": \"" + r.cell.attack + "\", ";
+  out += "\"vpm\": " + num(r.cell.vpm, 1) + ", ";
+  out += "\"round\": " + num(r.cell.round) + ", ";
+  out += "\"seed\": " + num(r.cell.seed) + ", ";
+  out += "\"spawned\": " + num(m.vehicles_spawned) + ", ";
+  out += "\"exited\": " + num(m.vehicles_exited) + ", ";
+  out += "\"throughput_vpm\": " + num(r.summary.throughput_vpm) + ", ";
+  out += "\"mean_crossing_ms\": " + num(r.summary.mean_crossing_ms, 1) + ", ";
+  out += "\"active_at_end\": " + num(r.summary.active_at_end) + ", ";
+  out += "\"gap_violations\": " +
+         num(r.summary.min_ground_truth_gap_violations) + ", ";
+  out += "\"detection_ms\": " +
+         (detection ? num(static_cast<std::uint64_t>(*detection))
+                    : std::string("-1")) +
+         ", ";
+  out += "\"incident_reports\": " + num(m.incident_reports) + ", ";
+  out += "\"global_reports\": " + num(m.global_reports) + ", ";
+  out += "\"evacuation_alerts\": " + num(m.evacuation_alerts) + ", ";
+  out += "\"false_alarm_evacuations\": " + num(m.false_alarm_evacuations) + ", ";
+  out += "\"degraded_entries\": " + num(m.degraded_entries) + ", ";
+  out += "\"blocks_published\": " + num(m.blocks_published) + ", ";
+  out += "\"packets_sent\": " + num(n.packets_sent) + ", ";
+  out += "\"packets_delivered\": " + num(n.packets_delivered) + ", ";
+  out += "\"packets_dropped\": " + num(n.packets_dropped) + ", ";
+  out += "\"bytes_sent\": " + num(n.bytes_sent) + ", ";
+  out += "\"legacy_spawned\": " + num(r.summary.legacy_spawned) + ", ";
+  out += "\"legacy_exited\": " + num(r.summary.legacy_exited);
+  out += "}";
+  return out;
+}
+
+std::string aggregate_row(const CellAggregate& a) {
+  std::string out = "{";
+  out += "\"kind\": \"" + std::string(intersection_name(a.kind)) + "\", ";
+  out += "\"attack\": \"" + a.attack + "\", ";
+  out += "\"vpm\": " + num(a.vpm, 1) + ", ";
+  out += "\"rounds\": " + num(a.rounds) + ", ";
+  out += "\"mean_throughput_vpm\": " + num(a.mean_throughput_vpm) + ", ";
+  out += "\"mean_crossing_ms\": " + num(a.mean_crossing_ms, 1) + ", ";
+  out += "\"detection_rate\": " + num(a.detection_rate) + ", ";
+  out += "\"mean_detection_ms\": " + num(a.mean_detection_ms, 1) + ", ";
+  out += "\"false_alarm_evacuations\": " + num(a.false_alarm_evacuations) + ", ";
+  out += "\"gap_violations\": " + num(a.gap_violations) + ", ";
+  out += "\"degraded_entries\": " + num(a.degraded_entries);
+  out += "}";
+  return out;
+}
+
+}  // namespace
+
+std::vector<CampaignCell> expand_cells(const CampaignConfig& cfg) {
+  std::vector<CampaignCell> cells;
+  cells.reserve(cfg.kinds.size() * cfg.attacks.size() *
+                cfg.densities_vpm.size() * static_cast<std::size_t>(cfg.rounds));
+  for (const traffic::IntersectionKind kind : cfg.kinds) {
+    for (const std::string& attack : cfg.attacks) {
+      for (const double vpm : cfg.densities_vpm) {
+        for (int round = 0; round < cfg.rounds; ++round) {
+          cells.push_back(CampaignCell{
+              kind, attack, vpm, round,
+              cfg.base_seed + static_cast<std::uint64_t>(round)});
+        }
+      }
+    }
+  }
+  return cells;
+}
+
+ScenarioConfig cell_scenario(const CampaignConfig& cfg,
+                             const CampaignCell& cell) {
+  ScenarioConfig s = cfg.base;
+  s.intersection.kind = cell.kind;
+  s.vehicles_per_minute = cell.vpm;
+  s.duration_ms = cfg.duration_ms;
+  s.seed = cell.seed;
+  s.attack = protocol::attack_setting_by_name(cell.attack);
+  return s;
+}
+
+std::vector<CellResult> run_campaign(const CampaignConfig& cfg) {
+  const std::vector<CampaignCell> cells = expand_cells(cfg);
+  util::WorkerPool pool(cfg.threads);
+  // Per-run isolation: each cell builds its own World — own event queue,
+  // network, RNG stream, signer, and signature-verification cache — so the
+  // only shared state is the read-only config and the result slots, which
+  // the pool's fixed-order map keeps per-index. Thread count therefore
+  // cannot influence any result byte.
+  return pool.map<CellResult>(cells.size(), [&cfg, &cells](std::size_t i) {
+    World world(cell_scenario(cfg, cells[i]));
+    return CellResult{cells[i], world.run()};
+  });
+}
+
+std::vector<CellAggregate> aggregate(const CampaignConfig& cfg,
+                                     const std::vector<CellResult>& results) {
+  std::vector<CellAggregate> out;
+  const std::size_t rounds = static_cast<std::size_t>(cfg.rounds);
+  for (std::size_t base = 0; base + rounds <= results.size(); base += rounds) {
+    CellAggregate a;
+    a.kind = results[base].cell.kind;
+    a.attack = results[base].cell.attack;
+    a.vpm = results[base].cell.vpm;
+    a.rounds = cfg.rounds;
+    int detected = 0;
+    double detection_total = 0;
+    for (std::size_t i = base; i < base + rounds; ++i) {
+      const RunSummary& s = results[i].summary;
+      a.mean_throughput_vpm += s.throughput_vpm;
+      a.mean_crossing_ms += s.mean_crossing_ms;
+      a.false_alarm_evacuations += s.metrics.false_alarm_evacuations;
+      a.gap_violations += s.min_ground_truth_gap_violations;
+      a.degraded_entries += s.metrics.degraded_entries;
+      if (const auto d = s.metrics.deviation_detection_time()) {
+        ++detected;
+        detection_total += static_cast<double>(*d);
+      }
+    }
+    a.mean_throughput_vpm /= static_cast<double>(rounds);
+    a.mean_crossing_ms /= static_cast<double>(rounds);
+    a.detection_rate = static_cast<double>(detected) / static_cast<double>(rounds);
+    a.mean_detection_ms = detected ? detection_total / detected : 0;
+    out.push_back(std::move(a));
+  }
+  return out;
+}
+
+std::string campaign_results_json(const CampaignConfig& cfg,
+                                  const std::vector<CellResult>& results) {
+  std::string out = "{\n";
+  out += "  \"schema\": \"nwade-campaign-v1\",\n";
+  out += "  \"base_seed\": " + num(cfg.base_seed) + ",\n";
+  out += "  \"rounds\": " + num(cfg.rounds) + ",\n";
+  out += "  \"duration_ms\": " +
+         num(static_cast<std::uint64_t>(cfg.duration_ms)) + ",\n";
+  out += "  \"cells\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    out += "    " + cell_row(results[i]);
+    if (i + 1 < results.size()) out += ",";
+    out += "\n";
+  }
+  out += "  ],\n";
+  const std::vector<CellAggregate> aggs = aggregate(cfg, results);
+  out += "  \"aggregates\": [\n";
+  for (std::size_t i = 0; i < aggs.size(); ++i) {
+    out += "    " + aggregate_row(aggs[i]);
+    if (i + 1 < aggs.size()) out += ",";
+    out += "\n";
+  }
+  out += "  ]\n";
+  out += "}\n";
+  return out;
+}
+
+std::string campaign_json(const CampaignConfig& cfg,
+                          const std::vector<CellResult>& results,
+                          double wall_clock_s) {
+  std::string out = "{\n";
+  out += "  \"schema\": \"nwade-campaign-report-v1\",\n";
+  out += "  \"threads\": " + num(cfg.threads) + ",\n";
+  out += "  \"hardware_concurrency\": " +
+         num(static_cast<std::uint64_t>(std::thread::hardware_concurrency())) +
+         ",\n";
+  out += "  \"wall_clock_s\": " + num(wall_clock_s) + ",\n";
+  std::string results_json = campaign_results_json(cfg, results);
+  // Indent the embedded results object two spaces to keep the report legible.
+  out += "  \"results\": ";
+  for (std::size_t i = 0; i < results_json.size(); ++i) {
+    out += results_json[i];
+    if (results_json[i] == '\n' && i + 1 < results_json.size()) out += "  ";
+  }
+  if (out.back() == '\n') out.pop_back();
+  // Strip the indent added after the results object's final newline.
+  while (!out.empty() && out.back() == ' ') out.pop_back();
+  out += "\n}\n";
+  return out;
+}
+
+}  // namespace nwade::sim

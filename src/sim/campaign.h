@@ -1,0 +1,105 @@
+// Deterministic parallel campaign engine.
+//
+// A "campaign" is the paper's experiment matrix — intersection kinds x
+// Table I attack settings x traffic densities x seeded rounds — expanded
+// into independent cells and fanned across the deterministic
+// util::WorkerPool. Each cell constructs its own World (own event queue,
+// network, signer, and signature-verification cache), so cells share no
+// mutable state; results land in expansion order regardless of which thread
+// ran which cell. Consequently the aggregated output is a pure function of
+// the CampaignConfig: pool size 1 and pool size N produce byte-identical
+// results JSON (campaign_results_json), which the determinism test and
+// bench_campaign assert.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/world.h"
+
+namespace nwade::sim {
+
+/// The matrix a campaign expands. `base` carries every knob the matrix does
+/// not sweep (fault profile, scheduler, legacy fraction, quadratic_reference,
+/// ...); the swept axes below overwrite the corresponding base fields per
+/// cell.
+struct CampaignConfig {
+  std::vector<traffic::IntersectionKind> kinds{
+      traffic::IntersectionKind::kCross4};
+  /// Table I setting names ("benign", "V1", ..., "IM_V5"); unknown names
+  /// resolve to benign (protocol::attack_setting_by_name).
+  std::vector<std::string> attacks{"benign"};
+  std::vector<double> densities_vpm{80.0};
+  /// Seeded repetitions per matrix point: round r runs seed base_seed + r.
+  int rounds{1};
+  std::uint64_t base_seed{1};
+  Duration duration_ms{120'000};
+  /// Worker pool size; <= 1 runs every cell inline on the caller's thread.
+  int threads{1};
+  ScenarioConfig base;
+};
+
+/// One (kind, attack, density, round) point of the matrix.
+struct CampaignCell {
+  traffic::IntersectionKind kind{traffic::IntersectionKind::kCross4};
+  std::string attack{"benign"};
+  double vpm{80.0};
+  int round{0};
+  std::uint64_t seed{1};
+};
+
+/// One finished cell: its coordinates plus the run's summary.
+struct CellResult {
+  CampaignCell cell;
+  RunSummary summary;
+};
+
+/// Figure-ready aggregate over the rounds of one (kind, attack, density)
+/// matrix point.
+struct CellAggregate {
+  traffic::IntersectionKind kind{traffic::IntersectionKind::kCross4};
+  std::string attack{"benign"};
+  double vpm{80.0};
+  int rounds{0};
+  double mean_throughput_vpm{0};
+  double mean_crossing_ms{0};
+  /// Fraction of rounds whose run confirmed the deviation (Fig. 4's rate).
+  double detection_rate{0};
+  /// Mean simulated detection latency over the detecting rounds (Fig. 5).
+  double mean_detection_ms{0};
+  int false_alarm_evacuations{0};
+  int gap_violations{0};
+  int degraded_entries{0};
+};
+
+/// Expands the matrix in deterministic order: kinds (outer) -> attacks ->
+/// densities -> rounds (inner).
+std::vector<CampaignCell> expand_cells(const CampaignConfig& cfg);
+
+/// The ScenarioConfig one cell runs: cfg.base with the cell's axes applied.
+ScenarioConfig cell_scenario(const CampaignConfig& cfg,
+                             const CampaignCell& cell);
+
+/// Runs every cell of the matrix across a WorkerPool of cfg.threads and
+/// returns the results in expansion order (fixed-order merge).
+std::vector<CellResult> run_campaign(const CampaignConfig& cfg);
+
+/// Aggregates results (must be in expansion order) per matrix point.
+std::vector<CellAggregate> aggregate(const CampaignConfig& cfg,
+                                     const std::vector<CellResult>& results);
+
+/// Deterministic results-only JSON: per-cell rows plus per-point aggregates,
+/// excluding anything wall-clock- or machine-derived (timing sample means,
+/// thread counts). Byte-identical across pool sizes for the same config.
+std::string campaign_results_json(const CampaignConfig& cfg,
+                                  const std::vector<CellResult>& results);
+
+/// Full figure-ready report: the results JSON wrapped in an envelope that
+/// records how the campaign was executed (threads, hardware concurrency,
+/// wall clock) — the non-deterministic context a plot caption needs.
+std::string campaign_json(const CampaignConfig& cfg,
+                          const std::vector<CellResult>& results,
+                          double wall_clock_s);
+
+}  // namespace nwade::sim

@@ -17,6 +17,7 @@ World::World(ScenarioConfig config)
 
   net::NetworkConfig net_cfg = config_.network;
   net_cfg.seed = config_.seed ^ 0x6e657477ULL;
+  net_cfg.quadratic_reference = config_.quadratic_reference;
   network_ = std::make_unique<net::Network>(queue_, clock_, net_cfg);
 
   Rng rng(config_.seed);
@@ -145,7 +146,7 @@ void World::spawn(const traffic::Arrival& arrival, VehicleId id) {
   ctx.network = network_.get();
   ctx.clock = &clock_;
   ctx.sensors = this;
-  ctx.im_verifier = signer_->verifier();
+  ctx.im_verifier = signer_->verifier_with_cache(verify_cache_);
   ctx.metrics = &metrics_;
   ctx.malicious_ids = &malicious_ids_;
 
@@ -159,6 +160,7 @@ void World::spawn(const traffic::Arrival& arrival, VehicleId id) {
   node->start();
   spawn_times_[id] = clock_.now();
   vehicles_[id] = std::move(node);
+  ++position_epoch_;  // the new vehicle must show up in sensor queries
 }
 
 void World::spawn_legacy(const traffic::Arrival& arrival, VehicleId id) {
@@ -172,6 +174,7 @@ void World::spawn_legacy(const traffic::Arrival& arrival, VehicleId id) {
   l.v = l.cruise;
   legacy_[id] = l;
   spawn_times_[id] = clock_.now();
+  ++position_epoch_;  // legacy vehicles are sensor-visible from spawn
 }
 
 geom::Vec2 World::legacy_position(const LegacyVehicle& l) const {
@@ -179,21 +182,86 @@ geom::Vec2 World::legacy_position(const LegacyVehicle& l) const {
 }
 
 void World::step_legacy(Duration dt_ms) {
+  if (legacy_.empty()) return;
   const double dt = static_cast<double>(dt_ms) / 1000.0;
   const auto& limits = intersection_.config().limits;
+  const bool quadratic = config_.quadratic_reference;
+  if (!quadratic) {
+    // Managed vehicles do not move during step_legacy, so one snapshot
+    // serves every legacy vehicle this step.
+    follow_grid_.clear();
+    follow_nodes_.clear();
+    follow_grid_.reserve(vehicles_.size());
+    for (const auto& [oid, v] : vehicles_) {
+      if (v->exited()) continue;
+      follow_grid_.insert(v->position());
+      follow_nodes_.push_back(v.get());
+    }
+    // Legacy positions advance during the loop below (each entry moves as
+    // it is stepped), so this snapshot can lag a neighbour by one step —
+    // at most ~1.3 m at legacy cruise speeds. The query radius absorbs
+    // that; the predicate always reads the live fields through the map.
+    legacy_follow_grid_.clear();
+    legacy_follow_refs_.clear();
+    legacy_follow_grid_.reserve(legacy_.size());
+    for (const auto& [oid, o] : legacy_) {
+      if (o.exited) continue;
+      legacy_follow_grid_.insert(legacy_position(o));
+      legacy_follow_refs_.emplace_back(oid, &o);
+    }
+  }
   for (auto& [id, l] : legacy_) {
     if (l.exited) continue;
     // Simple car-following: brake for any vehicle ahead on the same route.
     double gap = 1e9;
-    for (const auto& [oid, v] : vehicles_) {
-      if (v->exited() || v->route_id() != l.route_id) continue;
-      const double ds = v->progress_s() - l.s;
-      if (ds > 0.1) gap = std::min(gap, ds);
+    if (quadratic) {
+      for (const auto& [oid, v] : vehicles_) {
+        if (v->exited() || v->route_id() != l.route_id) continue;
+        const double ds = v->progress_s() - l.s;
+        if (ds > 0.1) gap = std::min(gap, ds);
+      }
+    } else {
+      // Only gaps below the 45 m car-following horizon influence the speed
+      // target, and a same-route vehicle ds metres ahead along the path lies
+      // at most ds + |lateral offset| metres away in the plane (chord <=
+      // arc), so a 55 m disc around the legacy vehicle contains every
+      // managed vehicle that could matter. A vehicle the disc misses has
+      // gap >= 45 and changes neither branch of the target computation. The
+      // predicate below is the reference scan's, applied verbatim.
+      follow_scratch_.clear();
+      follow_grid_.query_candidates(legacy_position(l), 55.0, follow_scratch_);
+      for (const std::size_t idx : follow_scratch_) {
+        const protocol::VehicleNode* v = follow_nodes_[idx];
+        if (v->exited() || v->route_id() != l.route_id) continue;
+        const double ds = v->progress_s() - l.s;
+        if (ds > 0.1) gap = std::min(gap, ds);
+      }
     }
-    for (const auto& [oid, o] : legacy_) {
-      if (oid == id || o.exited || o.route_id != l.route_id) continue;
-      const double ds = o.s - l.s;
-      if (ds > 0.1) gap = std::min(gap, ds);
+    // Legacy-vs-legacy. Earlier map entries have already moved this step, so
+    // the values read here are live by construction — but the scan only
+    // folds them into a min, which no candidate ordering can change. The
+    // index is therefore used as a pre-filter over a top-of-step snapshot
+    // (never as the iteration), and the predicate reads the live fields:
+    // a neighbour whose ds could fall below the 45 m horizon lies within
+    // 45 m along the path, hence within 45 m in the plane at snapshot time
+    // (chord <= arc, and snapshots only trail live positions), well inside
+    // the 55 m disc.
+    if (quadratic) {
+      for (const auto& [oid, o] : legacy_) {
+        if (oid == id || o.exited || o.route_id != l.route_id) continue;
+        const double ds = o.s - l.s;
+        if (ds > 0.1) gap = std::min(gap, ds);
+      }
+    } else {
+      follow_scratch_.clear();
+      legacy_follow_grid_.query_candidates(legacy_position(l), 55.0,
+                                           follow_scratch_);
+      for (const std::size_t idx : follow_scratch_) {
+        const auto& [oid, o] = legacy_follow_refs_[idx];
+        if (oid == id || o->exited || o->route_id != l.route_id) continue;
+        const double ds = o->s - l.s;
+        if (ds > 0.1) gap = std::min(gap, ds);
+      }
     }
     double target = l.cruise;
     if (gap < 45.0) target = std::min(target, 0.35 * std::max(0.0, gap - 10.0));
@@ -210,6 +278,7 @@ void World::step_legacy(Duration dt_ms) {
 }
 
 void World::step_world(Tick now) {
+  ++position_epoch_;  // everything may move during this step
   const Duration dt = config_.step_ms;
   const auto watch_every =
       std::max<Tick>(1, config_.nwade.watch_interval_ms / config_.step_ms);
@@ -245,6 +314,7 @@ void World::step_world(Tick now) {
       bool parked_off_lane{false};
     };
     std::vector<Probe> active;
+    active.reserve(vehicles_.size() + legacy_.size());
     for (const auto& [id, v] : vehicles_) {
       // Degraded vehicles (moving without a plan) are audited too: their
       // sensor-gated crossing must not collide with managed traffic.
@@ -267,21 +337,32 @@ void World::step_world(Tick now) {
     for (const auto& [id, l] : legacy_) {
       if (!l.exited) active.push_back(Probe{legacy_position(l), l.s, l.route_id});
     }
-    for (std::size_t i = 0; i < active.size(); ++i) {
-      for (std::size_t j = i + 1; j < active.size(); ++j) {
-        // The first 30 m of every route is the staging area at the edge of
-        // the communication zone: vehicles planned in the same processing
-        // window depart together from there and separate as their assigned
-        // speeds diverge. Only positions past staging are audited.
-        if (active[i].s < 30.0 && active[j].s < 30.0) continue;
-        if ((active[i].parked_off_lane || active[j].parked_off_lane) &&
-            active[i].route != active[j].route) {
-          continue;
-        }
-        if (active[i].pos.distance_to(active[j].pos) < 1.5) {
-          ++gap_violations_;
-        }
+    // The first 30 m of every route is the staging area at the edge of
+    // the communication zone: vehicles planned in the same processing
+    // window depart together from there and separate as their assigned
+    // speeds diverge. Only positions past staging are audited.
+    const auto audit_pair = [&](std::size_t i, std::size_t j) {
+      if (active[i].s < 30.0 && active[j].s < 30.0) return;
+      if ((active[i].parked_off_lane || active[j].parked_off_lane) &&
+          active[i].route != active[j].route) {
+        return;
       }
+      if (active[i].pos.distance_to(active[j].pos) < 1.5) {
+        ++gap_violations_;
+      }
+    };
+    if (config_.quadratic_reference) {
+      for (std::size_t i = 0; i < active.size(); ++i) {
+        for (std::size_t j = i + 1; j < active.size(); ++j) audit_pair(i, j);
+      }
+    } else {
+      // A 2 m grid visits every pair closer than 2 m exactly once — a
+      // superset of the audited < 1.5 m pairs — and the count is
+      // order-independent, so the tally matches the all-pairs sweep.
+      geom::SpatialHash audit_grid(2.0);
+      audit_grid.reserve(active.size());
+      for (const Probe& p : active) audit_grid.insert(p.pos);
+      audit_grid.for_each_near_pair(audit_pair);
     }
   }
 }
@@ -318,21 +399,90 @@ RunSummary World::summary() const {
   return s;
 }
 
+namespace {
+/// Padding added to grid-backed sensor queries. A sense can fire mid-step,
+/// after the grids were snapshotted but after some vehicles already moved;
+/// between snapshots every vehicle moves at most one physics step (~2.3 m at
+/// 50 mph and the 100 ms default step, lateral manoeuvres included), so any
+/// vehicle inside the exact radius is within radius + slack of its
+/// snapshotted position. The exact range check always uses live positions.
+constexpr double kSenseSlackM = 20.0;
+}  // namespace
+
+void World::rebuild_sense_grids() const {
+  // Iterating the id-sorted maps makes insertion indices ascend with vehicle
+  // id, and query_candidates returns ascending indices — so the indexed scan
+  // below emits observations in the reference path's exact order. Skipping
+  // exited vehicles here is safe because exit is permanent: they could never
+  // pass the live filters again.
+  sense_managed_grid_.clear();
+  sense_managed_ids_.clear();
+  sense_managed_grid_.reserve(vehicles_.size());
+  for (const auto& [id, v] : vehicles_) {
+    if (v->exited()) continue;
+    sense_managed_grid_.insert(v->position());
+    sense_managed_ids_.push_back(id);
+  }
+  sense_legacy_grid_.clear();
+  sense_legacy_ids_.clear();
+  sense_legacy_grid_.reserve(legacy_.size());
+  for (const auto& [id, l] : legacy_) {
+    if (l.exited) continue;
+    sense_legacy_grid_.insert(legacy_position(l));
+    sense_legacy_ids_.push_back(id);
+  }
+  sense_built_epoch_ = position_epoch_;
+}
+
 std::vector<protocol::Observation> World::sense_around(geom::Vec2 center,
                                                        double radius,
                                                        VehicleId exclude) const {
   std::vector<protocol::Observation> out;
-  for (const auto& [id, v] : vehicles_) {
+  if (config_.quadratic_reference) {
+    for (const auto& [id, v] : vehicles_) {
+      if (id == exclude || v->exited()) continue;
+      // Vehicles still staged at the zone edge (no plan, not yet moving) are
+      // invisible; a plan-less vehicle that moves — degraded mode — must be
+      // seen so watchers and the IM's unmanaged tracking can cover it.
+      if (!v->has_plan() && v->progress_s() <= 0.5) continue;
+      const geom::Vec2 pos = v->position();
+      if (pos.distance_to(center) > radius) continue;
+      out.push_back(protocol::Observation{id, v->traits(), v->ground_truth()});
+    }
+    for (const auto& [id, l] : legacy_) {
+      if (id == exclude || l.exited) continue;
+      const geom::Vec2 pos = legacy_position(l);
+      if (pos.distance_to(center) > radius) continue;
+      traffic::VehicleStatus st;
+      st.position = pos;
+      st.speed_mps = l.v;
+      st.heading_rad = intersection_.route(l.route_id).path.heading_at(l.s);
+      out.push_back(protocol::Observation{id, l.traits, st});
+    }
+    return out;
+  }
+
+  if (sense_built_epoch_ != position_epoch_) rebuild_sense_grids();
+  // Candidate supersets from the snapshot; every filter below re-runs the
+  // reference path's exact predicate on live state, in the same id order.
+  sense_scratch_.clear();
+  sense_managed_grid_.query_candidates(center, radius + kSenseSlackM,
+                                       sense_scratch_);
+  for (const std::size_t idx : sense_scratch_) {
+    const VehicleId id = sense_managed_ids_[idx];
+    const auto& v = vehicles_.find(id)->second;
     if (id == exclude || v->exited()) continue;
-    // Vehicles still staged at the zone edge (no plan, not yet moving) are
-    // invisible; a plan-less vehicle that moves — degraded mode — must be
-    // seen so watchers and the IM's unmanaged tracking can cover it.
     if (!v->has_plan() && v->progress_s() <= 0.5) continue;
     const geom::Vec2 pos = v->position();
     if (pos.distance_to(center) > radius) continue;
     out.push_back(protocol::Observation{id, v->traits(), v->ground_truth()});
   }
-  for (const auto& [id, l] : legacy_) {
+  sense_scratch_.clear();
+  sense_legacy_grid_.query_candidates(center, radius + kSenseSlackM,
+                                      sense_scratch_);
+  for (const std::size_t idx : sense_scratch_) {
+    const VehicleId id = sense_legacy_ids_[idx];
+    const LegacyVehicle& l = legacy_.find(id)->second;
     if (id == exclude || l.exited) continue;
     const geom::Vec2 pos = legacy_position(l);
     if (pos.distance_to(center) > radius) continue;

@@ -5,10 +5,14 @@
 // rendering).
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <memory>
+#include <vector>
 
 #include "crypto/signer.h"
+#include "crypto/verify_cache.h"
+#include "geom/spatial_hash.h"
 #include "net/network.h"
 #include "nwade/config.h"
 #include "nwade/im_node.h"
@@ -54,6 +58,14 @@ struct ScenarioConfig {
   /// constant cruise speed with simple car-following. The IM perceives them
   /// and schedules managed traffic around virtual trajectory predictions.
   double legacy_fraction{0.0};
+
+  /// true = every O(V^2) all-pairs sweep (ground-truth gap audit, legacy
+  /// car-following lookup, sensor queries, and the network broadcast scan)
+  /// runs the original brute-force loop instead of the uniform-grid spatial
+  /// index. Kept purely as the equivalence/bench baseline (same pattern as
+  /// SchedulerConfig::linear_reference_scan); both modes make bit-identical
+  /// decisions, so full runs produce byte-identical traces.
+  bool quadratic_reference{false};
 };
 
 /// Aggregated outcome of one run.
@@ -118,6 +130,7 @@ class World final : public protocol::SensorProvider {
   void step_legacy(Duration dt_ms);
   geom::Vec2 legacy_position(const LegacyVehicle& l) const;
   void step_world(Tick now);
+  void rebuild_sense_grids() const;
 
   ScenarioConfig config_;
   traffic::Intersection intersection_;
@@ -135,6 +148,39 @@ class World final : public protocol::SensorProvider {
   std::vector<Duration> crossing_times_;
   int gap_violations_{0};
   Tick stepped_until_{0};
+
+  /// Per-run signature-verification cache, injected into every vehicle's
+  /// verifier. Campaign runs step many worlds concurrently; scoping the
+  /// memoized verdicts to the run keeps them isolated (and contention-free)
+  /// while single-run behaviour is unchanged — verification is a pure
+  /// function, so the verdicts are identical either way.
+  crypto::SigVerifyCache verify_cache_;
+
+  /// Bumped whenever positions may have changed (step_world entry, spawns);
+  /// the lazily rebuilt sensor grids below are keyed on it.
+  std::uint64_t position_epoch_{0};
+
+  // Sensor-query index: snapshots of managed/legacy positions, rebuilt at
+  // most once per position epoch. A snapshot can lag a vehicle by one
+  // physics step (senses fire mid-step), so queries pad the radius by
+  // kSenseSlackM and re-apply the exact live-position predicate.
+  mutable geom::SpatialHash sense_managed_grid_{64.0};
+  mutable std::vector<VehicleId> sense_managed_ids_;
+  mutable geom::SpatialHash sense_legacy_grid_{64.0};
+  mutable std::vector<VehicleId> sense_legacy_ids_;
+  mutable std::vector<std::size_t> sense_scratch_;
+  mutable std::uint64_t sense_built_epoch_{~0ULL};
+
+  // Car-following lookup index: managed positions snapshotted at the top of
+  // each step_legacy call (managed vehicles do not move during it).
+  geom::SpatialHash follow_grid_{32.0};
+  std::vector<const protocol::VehicleNode*> follow_nodes_;
+  std::vector<std::size_t> follow_scratch_;
+  // Legacy-vs-legacy lookup: positions snapshotted at the top of step_legacy
+  // (they drift up to one step during it; the query radius absorbs that and
+  // the predicate reads the live fields through the stored pointers).
+  geom::SpatialHash legacy_follow_grid_{32.0};
+  std::vector<std::pair<VehicleId, const LegacyVehicle*>> legacy_follow_refs_;
 };
 
 }  // namespace nwade::sim

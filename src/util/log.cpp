@@ -1,11 +1,15 @@
 #include "util/log.h"
 
+#include <atomic>
 #include <cstdio>
 
 namespace nwade {
 namespace {
-LogLevel g_level = LogLevel::kOff;
-const Tick* g_clock = nullptr;
+// Atomics, not plain globals: campaign runs step many worlds on pool
+// threads, and a configuration racing a level check would be UB. Writers
+// are still expected to configure logging before fanning out.
+std::atomic<LogLevel> g_level{LogLevel::kOff};
+std::atomic<const Tick*> g_clock{nullptr};
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -21,18 +25,21 @@ const char* level_name(LogLevel level) {
 }  // namespace
 
 namespace log_config {
-void set_level(LogLevel level) { g_level = level; }
-LogLevel level() { return g_level; }
-void set_clock(const Tick* now) { g_clock = now; }
+void set_level(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
+LogLevel level() { return g_level.load(std::memory_order_relaxed); }
+void set_clock(const Tick* now) { g_clock.store(now, std::memory_order_relaxed); }
 }  // namespace log_config
 
 namespace detail {
 
-bool enabled(LogLevel level) { return level >= g_level && g_level != LogLevel::kOff; }
+bool enabled(LogLevel level) {
+  const LogLevel configured = g_level.load(std::memory_order_relaxed);
+  return level >= configured && configured != LogLevel::kOff;
+}
 
 void emit(LogLevel level, const std::string& msg) {
-  if (g_clock != nullptr) {
-    std::fprintf(stderr, "[%8lld ms] %s %s\n", static_cast<long long>(*g_clock),
+  if (const Tick* now = g_clock.load(std::memory_order_relaxed)) {
+    std::fprintf(stderr, "[%8lld ms] %s %s\n", static_cast<long long>(*now),
                  level_name(level), msg.c_str());
   } else {
     std::fprintf(stderr, "%s %s\n", level_name(level), msg.c_str());

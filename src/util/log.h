@@ -11,7 +11,9 @@ namespace nwade {
 
 enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
 
-/// Global log configuration (process-wide; the simulator is single-threaded).
+/// Global log configuration (process-wide; level/clock reads are atomic so
+/// concurrent campaign worlds may log, but configure before fanning out —
+/// the clock pointer must outlive every thread that could emit).
 namespace log_config {
 void set_level(LogLevel level);
 LogLevel level();

@@ -119,6 +119,34 @@ TEST(PlanProperty, ConflictFinderAgreesWithOracle) {
   EXPECT_LT(finder_hits, checked);
 }
 
+TEST(PlanProperty, PairConflictViaOccupanciesMatchesFinder) {
+  // occupancies_conflict on precomputed plan_occupancy values is the fast
+  // path the IM's legacy-tracking refresh uses; it must equal the boolean
+  // find_plan_conflicts computes for the pair — same-route (headway) and
+  // cross-route (shared zone) cases alike, margin included.
+  traffic::IntersectionConfig icfg;
+  icfg.kind = traffic::IntersectionKind::kCross4;
+  const auto ix = traffic::Intersection::build(icfg);
+  Rng rng(105);
+  int agreements_true = 0, agreements_false = 0;
+  for (int iter = 0; iter < 600; ++iter) {
+    const int ra = static_cast<int>(rng.uniform_int(0, 11));
+    const int rb = static_cast<int>(rng.uniform_int(0, 11));
+    const TravelPlan a = random_plan(rng, 1, ra, ix.route(ra).path.length());
+    const TravelPlan b = random_plan(rng, 2, rb, ix.route(rb).path.length());
+    const Duration margin = rng.uniform_int(0, 2) * 250;
+    const bool finder = !find_plan_conflicts(ix, {&a, &b}, margin).empty();
+    const bool fast = occupancies_conflict(plan_occupancy(ix, a, margin),
+                                           plan_occupancy(ix, b, margin));
+    ASSERT_EQ(fast, finder) << "iter " << iter << " routes " << ra << ","
+                            << rb << " margin " << margin;
+    (finder ? agreements_true : agreements_false)++;
+  }
+  // Both outcomes must occur for the agreement to mean anything.
+  EXPECT_GT(agreements_true, 10);
+  EXPECT_GT(agreements_false, 10);
+}
+
 TEST(PlanProperty, ScheduledBatchesStableUnderResimulation) {
   // Scheduling the same arrival sequence twice gives identical plans
   // (pure function of inputs — no hidden global state).

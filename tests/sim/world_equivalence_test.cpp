@@ -1,0 +1,142 @@
+// Lock-step equivalence: the spatial-index stepping paths (sensor queries,
+// legacy car-following lookup, ground-truth gap audit, broadcast range scan)
+// must make bit-identical decisions to the quadratic_reference brute-force
+// loops they replaced. Two worlds with identical configs — one per mode —
+// are stepped side by side through each golden-trace scenario, comparing the
+// full deterministic summary and live sense_around() answers at every
+// checkpoint, not just at the end.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "sim/world.h"
+
+namespace nwade::sim {
+namespace {
+
+// The four golden-trace scenarios (tests/sim/trace_golden_test.cpp) — same
+// kinds, densities, seeds, and attack settings, so this suite certifies
+// equivalence exactly where the digest locks watch for drift.
+ScenarioConfig golden(traffic::IntersectionKind kind, double vpm,
+                      std::uint64_t seed) {
+  ScenarioConfig cfg;
+  cfg.intersection.kind = kind;
+  cfg.vehicles_per_minute = vpm;
+  cfg.duration_ms = 120'000;
+  cfg.seed = seed;
+  return cfg;
+}
+
+std::vector<std::pair<std::string, ScenarioConfig>> golden_scenarios() {
+  std::vector<std::pair<std::string, ScenarioConfig>> out;
+  out.emplace_back("BenignCross4",
+                   golden(traffic::IntersectionKind::kCross4, 80, 1));
+  out.emplace_back("DenseCross4",
+                   golden(traffic::IntersectionKind::kCross4, 120, 7));
+  {
+    ScenarioConfig cfg = golden(traffic::IntersectionKind::kRoundabout3, 60, 3);
+    cfg.legacy_fraction = 0.25;  // exercises the car-following lookup
+    out.emplace_back("MixedTrafficRoundabout", cfg);
+  }
+  {
+    ScenarioConfig cfg = golden(traffic::IntersectionKind::kCross4, 80, 5);
+    cfg.attack = protocol::AttackSetting{"deviation", 1, false, 0, 0};
+    out.emplace_back("DeviationAttackCross4", cfg);
+  }
+  return out;
+}
+
+// %a renders doubles exactly (hex float), so equality below means
+// bit-identical, not merely close.
+std::string fingerprint(const RunSummary& s) {
+  char buf[640];
+  std::snprintf(
+      buf, sizeof(buf),
+      "spawned=%d exited=%d thr=%a cross=%a active=%d gaps=%d "
+      "legacy=%d/%d inc=%d glob=%d alerts=%d false=%d degraded=%d blocks=%d "
+      "sent=%llu delivered=%llu dropped=%llu oor=%llu bytes=%llu",
+      s.metrics.vehicles_spawned, s.metrics.vehicles_exited, s.throughput_vpm,
+      s.mean_crossing_ms, s.active_at_end, s.min_ground_truth_gap_violations,
+      s.legacy_spawned, s.legacy_exited, s.metrics.incident_reports,
+      s.metrics.global_reports, s.metrics.evacuation_alerts,
+      s.metrics.false_alarm_evacuations, s.metrics.degraded_entries,
+      s.metrics.blocks_published,
+      static_cast<unsigned long long>(s.net_stats.packets_sent),
+      static_cast<unsigned long long>(s.net_stats.packets_delivered),
+      static_cast<unsigned long long>(s.net_stats.packets_dropped),
+      static_cast<unsigned long long>(s.net_stats.packets_out_of_range),
+      static_cast<unsigned long long>(s.net_stats.bytes_sent));
+  return buf;
+}
+
+std::string render(const std::vector<protocol::Observation>& obs) {
+  std::string out;
+  char buf[256];
+  for (const auto& o : obs) {
+    std::snprintf(buf, sizeof(buf),
+                  "[id=%llu b=%u m=%u c=%u len=%a pos=(%a,%a) v=%a h=%a]",
+                  static_cast<unsigned long long>(o.id.value), o.traits.brand,
+                  o.traits.model, o.traits.color, o.traits.length_m,
+                  o.status.position.x, o.status.position.y,
+                  o.status.speed_mps, o.status.heading_rad);
+    out += buf;
+  }
+  return out;
+}
+
+TEST(WorldEquivalence, QuadraticAndIndexedRunsLockStep) {
+  // Probes chosen to straddle grid-cell boundaries: the staging approaches,
+  // the conflict core, and a far point whose disc exceeds the occupied area.
+  const struct {
+    geom::Vec2 center;
+    double radius;
+  } probes[] = {
+      {{0.0, 0.0}, 20.0},   {{0.0, 0.0}, 45.0},  {{32.0, 0.0}, 45.0},
+      {{0.0, -64.0}, 30.0}, {{-40.0, 40.0}, 120.0},
+  };
+
+  for (const auto& [name, cfg] : golden_scenarios()) {
+    SCOPED_TRACE(name);
+    ScenarioConfig quad_cfg = cfg;
+    quad_cfg.quadratic_reference = true;
+    ScenarioConfig idx_cfg = cfg;
+    idx_cfg.quadratic_reference = false;
+    World quad(quad_cfg);
+    World indexed(idx_cfg);
+
+    for (Tick t = 5'000; t <= cfg.duration_ms; t += 5'000) {
+      quad.run_until(t);
+      indexed.run_until(t);
+      ASSERT_EQ(fingerprint(quad.summary()), fingerprint(indexed.summary()))
+          << name << " diverged at t=" << t;
+      for (const auto& p : probes) {
+        ASSERT_EQ(render(quad.sense_around(p.center, p.radius, VehicleId{})),
+                  render(indexed.sense_around(p.center, p.radius, VehicleId{})))
+            << name << " sense_around mismatch at t=" << t << " center=("
+            << p.center.x << "," << p.center.y << ") r=" << p.radius;
+      }
+    }
+    EXPECT_EQ(quad.vehicle_ids(), indexed.vehicle_ids());
+  }
+}
+
+// The broadcast pre-filter must also leave the channel accounting untouched:
+// packets_out_of_range counts every non-receiver the same way the all-pairs
+// scan did. (Covered by the fingerprint above, asserted separately so a
+// regression names the field.)
+TEST(WorldEquivalence, OutOfRangeAccountingMatches) {
+  ScenarioConfig cfg = golden(traffic::IntersectionKind::kCross4, 120, 7);
+  cfg.duration_ms = 30'000;
+  ScenarioConfig quad_cfg = cfg;
+  quad_cfg.quadratic_reference = true;
+  const RunSummary a = World(quad_cfg).run();
+  const RunSummary b = World(cfg).run();
+  EXPECT_EQ(a.net_stats.packets_out_of_range, b.net_stats.packets_out_of_range);
+  EXPECT_EQ(a.net_stats.packets_sent, b.net_stats.packets_sent);
+  EXPECT_EQ(a.net_stats.packets_delivered, b.net_stats.packets_delivered);
+}
+
+}  // namespace
+}  // namespace nwade::sim
