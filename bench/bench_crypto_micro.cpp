@@ -22,6 +22,22 @@ Bytes test_data(std::size_t size) {
   return data;
 }
 
+/// Reports an "allocs_per_op" console column for a benchmark loop. Only
+/// meaningful in -DNWADE_COUNT_ALLOCS=ON builds; elsewhere the counter reads
+/// 0 throughout and the column shows 0 (counting is compiled out entirely).
+class AllocMeter {
+ public:
+  void finish(benchmark::State& state) {
+    const double ops = static_cast<double>(state.iterations());
+    if (!nwade::util::alloc_counting_enabled() || ops <= 0) return;
+    state.counters["allocs_per_op"] = benchmark::Counter(
+        static_cast<double>(nwade::util::thread_alloc_count() - start_) / ops);
+  }
+
+ private:
+  std::uint64_t start_{nwade::util::thread_alloc_count()};
+};
+
 void BM_Sha256(benchmark::State& state) {
   const Bytes data = test_data(static_cast<std::size_t>(state.range(0)));
   for (auto _ : state) {
@@ -56,19 +72,37 @@ const RsaKeyPair& key_of(int bits) {
 void BM_RsaSign(benchmark::State& state) {
   const auto& key = key_of(static_cast<int>(state.range(0)));
   const Bytes msg = test_data(512);
+  AllocMeter allocs;
   for (auto _ : state) {
     benchmark::DoNotOptimize(rsa_sign(key.priv, msg));
   }
+  allocs.finish(state);
 }
 BENCHMARK(BM_RsaSign)->Arg(1024)->Arg(2048)->Unit(benchmark::kMillisecond);
+
+/// The steady-state signer shape: CRT Montgomery contexts built once, each
+/// call pays only the two half-size modexps.
+void BM_RsaSignContext(benchmark::State& state) {
+  const auto& key = key_of(static_cast<int>(state.range(0)));
+  const RsaSignContext ctx(key.priv);
+  const Bytes msg = test_data(512);
+  AllocMeter allocs;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ctx.sign(msg));
+  }
+  allocs.finish(state);
+}
+BENCHMARK(BM_RsaSignContext)->Arg(1024)->Arg(2048)->Unit(benchmark::kMillisecond);
 
 void BM_RsaVerify(benchmark::State& state) {
   const auto& key = key_of(static_cast<int>(state.range(0)));
   const Bytes msg = test_data(512);
   const Bytes sig = rsa_sign(key.priv, msg);
+  AllocMeter allocs;
   for (auto _ : state) {
     benchmark::DoNotOptimize(rsa_verify(key.pub, msg, sig));
   }
+  allocs.finish(state);
 }
 BENCHMARK(BM_RsaVerify)->Arg(1024)->Arg(2048)->Unit(benchmark::kMicrosecond);
 
@@ -158,9 +192,22 @@ void emit_bench_json() {
       benchmark::DoNotOptimize(ctx.verify(msg, sig));
     }
   });
+  const RsaSignContext sign_ctx(key.priv);
+  const auto sign_free = nwade::bench::timed_median(1, 5, [&] {
+    benchmark::DoNotOptimize(rsa_sign(key.priv, msg));
+  });
+  const auto sign_context = nwade::bench::timed_median(1, 5, [&] {
+    benchmark::DoNotOptimize(sign_ctx.sign(msg));
+  });
   const auto sha_64k = nwade::bench::timed_median(1, 5, [data = test_data(65536)] {
     benchmark::DoNotOptimize(sha256(data));
   });
+
+  // allocs/op columns (only measured in NWADE_COUNT_ALLOCS builds).
+  const double sign_allocs = nwade::bench::allocs_per_op(
+      8, [&] { benchmark::DoNotOptimize(sign_ctx.sign(msg)); });
+  const double verify_allocs = nwade::bench::allocs_per_op(
+      32, [&] { benchmark::DoNotOptimize(ctx.verify(msg, sig)); });
 
   const double wall_s = std::chrono::duration<double>(
                             std::chrono::steady_clock::now() - t_start)
@@ -168,11 +215,19 @@ void emit_bench_json() {
   const std::string envelope = nwade::bench::bench_envelope(
       "crypto_micro", wall_s,
       {nwade::bench::json_phase("rsa2048_verify_x16_free", verify_free),
-       nwade::bench::json_phase("rsa2048_verify_x16_context", verify_ctx),
+       nwade::bench::json_phase("rsa2048_verify_x16_context", verify_ctx,
+                                verify_allocs),
        nwade::bench::json_speedup(
            "rsa2048_verify_context",
            verify_ctx.median_ms > 0 ? verify_free.median_ms / verify_ctx.median_ms
                                     : 0),
+       nwade::bench::json_phase("rsa2048_sign_free", sign_free),
+       nwade::bench::json_phase("rsa2048_sign_context", sign_context,
+                                sign_allocs),
+       nwade::bench::json_speedup(
+           "rsa2048_sign_context",
+           sign_context.median_ms > 0 ? sign_free.median_ms / sign_context.median_ms
+                                      : 0),
        nwade::bench::json_phase("sha256_64k", sha_64k)});
   nwade::bench::write_bench_file("BENCH_crypto_micro.json", envelope);
 }

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "sim/world.h"
+#include "util/alloc_stats.h"
 
 namespace nwade::bench {
 
@@ -149,8 +150,12 @@ inline std::string json_array(const std::vector<std::string>& items,
 //     ]
 //   }
 //
-// Phases that report a derived ratio (e.g. before/after speedup) carry a
-// "speedup_x" field instead of the timing triple. hardware_concurrency is
+// Phases measured in a -DNWADE_COUNT_ALLOCS=ON build may additionally carry
+// an "allocs_per_op" field (heap allocations per operation, from
+// util/alloc_stats.h); builds without counting omit it rather than reporting
+// a misleading zero. Phases that report a derived ratio (e.g. before/after
+// speedup) carry a "speedup_x" field instead of the timing triple.
+// hardware_concurrency is
 // recorded so thread-scaling numbers (bench_campaign's pool sweep) can be
 // interpreted on the machine that produced them — a 1-core container
 // cannot show wall-clock speedup no matter how parallel the code is.
@@ -217,6 +222,35 @@ inline std::string json_phase(const std::string& name, const TimingStats& t) {
                       json_field("median_ms", t.median_ms, 4),
                       json_field("min_ms", t.min_ms, 4),
                       json_field("max_ms", t.max_ms, 4)});
+}
+
+/// Heap allocations per operation across `ops` executions of `fn`, from the
+/// calling thread's counter. Returns -1 when the build has no counting
+/// operator new (option NWADE_COUNT_ALLOCS off) — callers emit the column
+/// only for non-negative values.
+inline double allocs_per_op(int ops, const std::function<void()>& fn) {
+  if (!util::alloc_counting_enabled() || ops <= 0) return -1;
+  const std::uint64_t before = util::thread_alloc_count();
+  for (int i = 0; i < ops; ++i) fn();
+  return static_cast<double>(util::thread_alloc_count() - before) /
+         static_cast<double>(ops);
+}
+
+/// json_phase variant carrying the allocs_per_op column (negative = not
+/// measured, column omitted).
+inline std::string json_phase(const std::string& name, const TimingStats& t,
+                              double allocs_per_op) {
+  std::vector<std::string> fields = {
+      json_field("name", name),
+      json_field("reps", static_cast<double>(t.reps), 0),
+      json_field("warmup", static_cast<double>(t.warmup), 0),
+      json_field("median_ms", t.median_ms, 4),
+      json_field("min_ms", t.min_ms, 4),
+      json_field("max_ms", t.max_ms, 4)};
+  if (allocs_per_op >= 0) {
+    fields.push_back(json_field("allocs_per_op", allocs_per_op, 2));
+  }
+  return json_object(fields);
 }
 
 /// A derived before/after ratio phase (no timing triple of its own).

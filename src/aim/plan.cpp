@@ -68,6 +68,7 @@ traffic::VehicleStatus TravelPlan::expected_status(const traffic::Route& route,
 
 Bytes TravelPlan::serialize() const {
   ByteWriter w;
+  w.reserve(wire_size());
   w.u64(vehicle.value);
   w.u32(static_cast<std::uint32_t>(route_id));
   traits.serialize(w);

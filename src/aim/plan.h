@@ -64,6 +64,10 @@ struct TravelPlan {
   Bytes serialize() const;
   static std::optional<TravelPlan> deserialize(const Bytes& data);
 
+  /// Exact serialized size: fixed header/footer (84 bytes) + 24 per segment.
+  /// Kept in lock-step with serialize() so callers can reserve() up front.
+  std::size_t wire_size() const { return 84 + 24 * segments.size(); }
+
   bool operator==(const TravelPlan& o) const;
 };
 

@@ -125,7 +125,10 @@ void Block::revalidate_header_locked() const {
 const Bytes& Block::payload_locked() const {
   revalidate_header_locked();
   if (!payload_valid_) {
-    ByteWriter w;
+    // Recycle the cache's old buffer and size the payload exactly: u64 seq +
+    // length-prefixed 32-byte hashes + i64 timestamp + u32 count + u64 ids.
+    ByteWriter w(std::move(payload_cache_));
+    w.reserve(92 + 8 * revoked.size());
     w.u64(seq);
     w.bytes(prev_hash);
     w.i64(timestamp);
@@ -200,7 +203,14 @@ crypto::MerkleProof Block::prove_plan(std::size_t index) const {
 }
 
 Bytes Block::serialize() const {
+  // Header (100 bytes + signature + revoked ids) plus each length-prefixed
+  // plan; reserving the exact total turns the per-plan appends from repeated
+  // geometric regrowth (quadratic copying on large windows) into one
+  // allocation.
+  std::size_t total = 100 + signature.size() + 8 * revoked.size();
+  for (const aim::TravelPlan& p : plans_) total += 4 + p.wire_size();
   ByteWriter w;
+  w.reserve(total);
   w.bytes(signature);
   w.bytes(prev_hash);
   w.i64(timestamp);

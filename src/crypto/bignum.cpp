@@ -108,7 +108,7 @@ int BigUint::compare(const BigUint& other) const {
 BigUint BigUint::operator+(const BigUint& o) const {
   BigUint out;
   const std::size_t n = std::max(limbs_.size(), o.limbs_.size());
-  out.limbs_.resize(n + 1, 0);
+  out.limbs_.resize(n + 1);
   u64 carry = 0;
   for (std::size_t i = 0; i < n; ++i) {
     const u128 sum = static_cast<u128>(limb(i)) + o.limb(i) + carry;
@@ -123,7 +123,7 @@ BigUint BigUint::operator+(const BigUint& o) const {
 BigUint BigUint::operator-(const BigUint& o) const {
   assert(*this >= o);
   BigUint out;
-  out.limbs_.resize(limbs_.size(), 0);
+  out.limbs_.resize(limbs_.size());
   u64 borrow = 0;
   for (std::size_t i = 0; i < limbs_.size(); ++i) {
     const u64 rhs = o.limb(i);
@@ -291,15 +291,62 @@ Montgomery::Montgomery(const BigUint& modulus) : modulus_(modulus) {
   u64 inv = m0;  // 3 bits correct
   for (int i = 0; i < 6; ++i) inv *= 2 - m0 * inv;  // doubles correct bits
   n0_ = ~inv + 1;  // negate mod 2^64
-  // R^2 mod m where R = 2^(64 n): compute by shifting.
-  BigUint r2 = BigUint(1) << static_cast<int>(128 * n_);
-  rr_ = r2 % modulus;
+
+  one_.assign(n_, 0);
+  one_[0] = 1;
+
+  // R^2 mod m where R = 2^(64 n), via 128*n modular doublings of 1. Every
+  // intermediate fits in n+1 limbs, so this sidesteps the bit-at-a-time long
+  // division a 2^(128 n) % m divmod would cost (and its 4096-bit temporaries).
+  const u64* mod = modulus_.limbs_.data();
+  std::vector<u64> acc(n_ + 1, 0);
+  acc[0] = 1;  // m is odd and > 1, so 1 mod m = 1
+  for (std::size_t step = 0; step < 128 * n_; ++step) {
+    u64 carry = 0;
+    for (std::size_t j = 0; j <= n_; ++j) {
+      const u64 next = acc[j] >> 63;
+      acc[j] = (acc[j] << 1) | carry;
+      carry = next;
+    }
+    // Conditional subtract: acc < 2m after the doubling, so once is enough.
+    bool ge = acc[n_] != 0;
+    if (!ge) {
+      ge = true;
+      for (std::size_t j = n_; j-- > 0;) {
+        if (acc[j] != mod[j]) {
+          ge = acc[j] > mod[j];
+          break;
+        }
+      }
+    }
+    if (ge) {
+      u64 borrow = 0;
+      for (std::size_t j = 0; j < n_; ++j) {
+        const u64 lhs = acc[j];
+        u64 diff = lhs - mod[j];
+        const u64 next = (lhs < mod[j]) || (diff < borrow) ? 1 : 0;
+        diff -= borrow;
+        acc[j] = diff;
+        borrow = next;
+      }
+      acc[n_] -= borrow;
+    }
+  }
+  acc.resize(n_);  // reduced below m: the top limb is zero
+  rr_ = std::move(acc);
+
+  // Montgomery form of 1: mont_mul(R^2, 1) = R mod m.
+  one_mont_.assign(n_, 0);
+  std::vector<u64> scratch(n_ + 2);
+  mont_mul(one_mont_.data(), rr_.data(), one_.data(), scratch.data());
 }
 
-std::vector<u64> Montgomery::mont_mul(const std::vector<u64>& a,
-                                      const std::vector<u64>& b) const {
-  // CIOS (coarsely integrated operand scanning).
-  std::vector<u64> t(n_ + 2, 0);
+void Montgomery::mont_mul(u64* dst, const u64* a, const u64* b, u64* scratch) const {
+  // CIOS (coarsely integrated operand scanning) into `scratch` (n+2 limbs);
+  // `dst` is written only after the final reduction, so it may alias a or b.
+  const u64* mod = modulus_.limbs_.data();
+  u64* t = scratch;
+  std::memset(t, 0, (n_ + 2) * sizeof(u64));
   for (std::size_t i = 0; i < n_; ++i) {
     // t += a[i] * b
     u64 carry = 0;
@@ -314,10 +361,10 @@ std::vector<u64> Montgomery::mont_mul(const std::vector<u64>& a,
 
     // m = t[0] * n0' mod 2^64; t += m * mod; t >>= 64
     const u64 m = t[0] * n0_;
-    const u128 first = static_cast<u128>(m) * modulus_.limb(0) + t[0];
+    const u128 first = static_cast<u128>(m) * mod[0] + t[0];
     carry = static_cast<u64>(first >> 64);
     for (std::size_t j = 1; j < n_; ++j) {
-      const u128 cur = static_cast<u128>(m) * modulus_.limb(j) + t[j] + carry;
+      const u128 cur = static_cast<u128>(m) * mod[j] + t[j] + carry;
       t[j - 1] = static_cast<u64>(cur);
       carry = static_cast<u64>(cur >> 64);
     }
@@ -331,7 +378,7 @@ std::vector<u64> Montgomery::mont_mul(const std::vector<u64>& a,
   if (!ge) {
     ge = true;
     for (std::size_t i = n_; i-- > 0;) {
-      const u64 mi = modulus_.limb(i);
+      const u64 mi = mod[i];
       if (t[i] != mi) {
         ge = t[i] > mi;
         break;
@@ -342,7 +389,7 @@ std::vector<u64> Montgomery::mont_mul(const std::vector<u64>& a,
   if (ge) {
     u64 borrow = 0;
     for (std::size_t i = 0; i < n_; ++i) {
-      const u64 mi = modulus_.limb(i);
+      const u64 mi = mod[i];
       const u64 lhs = t[i];
       u64 diff = lhs - mi;
       const u64 next = (lhs < mi) || (diff < borrow) ? 1 : 0;
@@ -352,57 +399,70 @@ std::vector<u64> Montgomery::mont_mul(const std::vector<u64>& a,
     }
     t[n_] -= borrow;
   }
-  t.resize(n_);
-  return t;
+  std::memcpy(dst, t, n_ * sizeof(u64));
 }
 
-std::vector<u64> Montgomery::to_mont(const BigUint& x) const {
-  std::vector<u64> xl(n_, 0);
-  const BigUint xr = x % modulus_;
-  for (std::size_t i = 0; i < xr.limb_count(); ++i) xl[i] = xr.limb(i);
-  std::vector<u64> rr(n_, 0);
-  for (std::size_t i = 0; i < rr_.limb_count(); ++i) rr[i] = rr_.limb(i);
-  return mont_mul(xl, rr);
+void Montgomery::to_mont(u64* dst, const BigUint& x, u64* scratch) const {
+  if (x.compare(modulus_) < 0) {
+    // Already reduced (the hot case: RSA bases are pre-reduced) — pad in place.
+    const std::size_t k = x.limbs_.size();
+    std::memcpy(dst, x.limbs_.data(), k * sizeof(u64));
+    std::memset(dst + k, 0, (n_ - k) * sizeof(u64));
+  } else {
+    const BigUint xr = x % modulus_;  // cold path
+    const std::size_t k = xr.limbs_.size();
+    std::memcpy(dst, xr.limbs_.data(), k * sizeof(u64));
+    std::memset(dst + k, 0, (n_ - k) * sizeof(u64));
+  }
+  mont_mul(dst, dst, rr_.data(), scratch);
 }
 
-BigUint Montgomery::from_mont(const std::vector<u64>& x) const {
-  std::vector<u64> one(n_, 0);
-  one[0] = 1;
-  const std::vector<u64> red = mont_mul(x, one);
+BigUint Montgomery::pow(const BigUint& base, const BigUint& exp,
+                        MontWorkspace& ws) const {
+  if (exp.is_zero()) return BigUint(1) % modulus_;
+
+  // One flat workspace: 16-entry contiguous window table, accumulator, the
+  // base in Montgomery form, and the CIOS scratch — laid out back to back so
+  // a warmed workspace serves every call without touching the heap.
+  u64* w = ws.ensure(pow_workspace_limbs());
+  u64* table = w;                  // 16 * n_ limbs: b^0 .. b^15
+  u64* acc = table + 16 * n_;      // n_ limbs
+  u64* basem = acc + n_;           // n_ limbs
+  u64* scratch = basem + n_;       // n_ + 2 limbs
+
+  to_mont(basem, base, scratch);
+  std::memcpy(table, one_mont_.data(), n_ * sizeof(u64));  // = R mod m
+  std::memcpy(table + n_, basem, n_ * sizeof(u64));
+  for (int i = 2; i < 16; ++i) {
+    mont_mul(table + static_cast<std::size_t>(i) * n_,
+             table + static_cast<std::size_t>(i - 1) * n_, basem, scratch);
+  }
+
+  const int bits = exp.bit_length();
+  const int windows = (bits + 3) / 4;
+  std::memcpy(acc, table, n_ * sizeof(u64));
+  for (int win = windows - 1; win >= 0; --win) {
+    for (int s = 0; s < 4; ++s) mont_mul(acc, acc, acc, scratch);
+    int nibble = 0;
+    for (int s = 3; s >= 0; --s) {
+      nibble = (nibble << 1) | (exp.bit(win * 4 + s) ? 1 : 0);
+    }
+    if (nibble != 0) {
+      mont_mul(acc, acc, table + static_cast<std::size_t>(nibble) * n_, scratch);
+    }
+  }
+  // Out of Montgomery form: mont_mul(acc, 1) = acc * R^{-1}.
+  mont_mul(acc, acc, one_.data(), scratch);
+
   BigUint out;
-  out.limbs_ = red;
+  out.limbs_.assign(acc, n_);
   out.trim();
   return out;
 }
 
 BigUint Montgomery::pow(const BigUint& base, const BigUint& exp) const {
-  if (exp.is_zero()) return BigUint(1) % modulus_;
-  const std::vector<u64> b = to_mont(base);
-
-  // Precompute b^0..b^15 in Montgomery form for 4-bit windows.
-  std::vector<std::vector<u64>> table(16);
-  std::vector<u64> one(n_, 0);
-  one[0] = 1;
-  table[0] = mont_mul(one, [&] {
-    std::vector<u64> rr(n_, 0);
-    for (std::size_t i = 0; i < rr_.limb_count(); ++i) rr[i] = rr_.limb(i);
-    return rr;
-  }());  // = R mod m (Montgomery form of 1)
-  table[1] = b;
-  for (int i = 2; i < 16; ++i) table[i] = mont_mul(table[i - 1], b);
-
-  const int bits = exp.bit_length();
-  const int windows = (bits + 3) / 4;
-  std::vector<u64> acc = table[0];
-  for (int w = windows - 1; w >= 0; --w) {
-    for (int s = 0; s < 4; ++s) acc = mont_mul(acc, acc);
-    int nibble = 0;
-    for (int s = 3; s >= 0; --s) {
-      nibble = (nibble << 1) | (exp.bit(w * 4 + s) ? 1 : 0);
-    }
-    if (nibble != 0) acc = mont_mul(acc, table[nibble]);
-  }
-  return from_mont(acc);
+  static thread_local MontWorkspace tls_ws;
+  return pow(base, exp, tls_ws);
 }
 
 // --- Primality ----------------------------------------------------------------

@@ -3,9 +3,18 @@
 // and byte/hex conversions. 64-bit little-endian limbs, 128-bit intermediate
 // arithmetic. Not constant-time: this is a simulation substrate, not a TLS
 // stack, and the paper's evaluation only depends on realistic cost shapes.
+//
+// Allocation profile: limb storage is small-buffer optimized for the paper's
+// key size — any value up to 2048 bits plus a carry limb lives inline, so
+// add/sub/mul/divmod on RSA-sized operands never touch the heap. Montgomery
+// exponentiation runs destination-passing over a caller-owned MontWorkspace
+// (one flat buffer holding the window table and CIOS scratch), making the
+// steady-state sign/verify paths allocation-free. Build with
+// -DNWADE_COUNT_ALLOCS=ON to have the `alloc`-labeled tests enforce this.
 #pragma once
 
 #include <cstdint>
+#include <cstring>
 #include <span>
 #include <utility>
 #include <string>
@@ -15,6 +24,121 @@
 #include "util/rng.h"
 
 namespace nwade::crypto {
+
+namespace detail {
+
+/// Small-buffer-optimized limb vector: the subset of std::vector<u64> the
+/// bignum code uses, with inline capacity for a 2048-bit value plus one
+/// carry limb. Values that outgrow the buffer (key generation's 4096-bit
+/// intermediates) spill to the heap; everything on the sign/verify hot
+/// paths stays inline.
+class LimbVec {
+ public:
+  static constexpr std::size_t kInline = 33;  // 32 limbs = 2048 bits, + carry
+
+  LimbVec() = default;
+  LimbVec(const LimbVec& o) { assign_from(o); }
+  LimbVec(LimbVec&& o) noexcept { steal(o); }
+  LimbVec& operator=(const LimbVec& o) {
+    if (this != &o) {
+      size_ = 0;
+      assign_from(o);
+    }
+    return *this;
+  }
+  LimbVec& operator=(LimbVec&& o) noexcept {
+    if (this != &o) {
+      release();
+      steal(o);
+    }
+    return *this;
+  }
+  ~LimbVec() { release(); }
+
+  bool empty() const { return size_ == 0; }
+  std::size_t size() const { return size_; }
+  std::size_t capacity() const { return cap_; }
+
+  std::uint64_t* data() { return ptr_; }
+  const std::uint64_t* data() const { return ptr_; }
+  std::uint64_t* begin() { return ptr_; }
+  std::uint64_t* end() { return ptr_ + size_; }
+  const std::uint64_t* begin() const { return ptr_; }
+  const std::uint64_t* end() const { return ptr_ + size_; }
+
+  std::uint64_t& operator[](std::size_t i) { return ptr_[i]; }
+  std::uint64_t operator[](std::size_t i) const { return ptr_[i]; }
+  std::uint64_t& back() { return ptr_[size_ - 1]; }
+  std::uint64_t back() const { return ptr_[size_ - 1]; }
+
+  void push_back(std::uint64_t v) {
+    if (size_ == cap_) grow(size_ + 1);
+    ptr_[size_++] = v;
+  }
+  void pop_back() { --size_; }
+  void clear() { size_ = 0; }
+
+  /// Grows zero-filled (like std::vector's value-init) or shrinks in place.
+  void resize(std::size_t n) {
+    if (n > cap_) grow(n);
+    if (n > size_) std::memset(ptr_ + size_, 0, (n - size_) * sizeof(std::uint64_t));
+    size_ = n;
+  }
+
+  void assign(std::size_t n, std::uint64_t v) {
+    if (n > cap_) grow(n);
+    for (std::size_t i = 0; i < n; ++i) ptr_[i] = v;
+    size_ = n;
+  }
+
+  void assign(const std::uint64_t* src, std::size_t n) {
+    if (n > cap_) grow(n);
+    std::memcpy(ptr_, src, n * sizeof(std::uint64_t));
+    size_ = n;
+  }
+
+ private:
+  void grow(std::size_t need) {
+    std::size_t cap = cap_ * 2;
+    if (cap < need) cap = need;
+    auto* fresh = new std::uint64_t[cap];
+    std::memcpy(fresh, ptr_, size_ * sizeof(std::uint64_t));
+    release();
+    ptr_ = fresh;
+    cap_ = cap;
+  }
+
+  void release() {
+    if (ptr_ != small_) delete[] ptr_;
+    ptr_ = small_;
+    cap_ = kInline;
+  }
+
+  void assign_from(const LimbVec& o) { assign(o.ptr_, o.size_); }
+
+  /// Takes o's storage; leaves o empty with inline capacity.
+  void steal(LimbVec& o) {
+    if (o.ptr_ != o.small_) {
+      ptr_ = o.ptr_;
+      cap_ = o.cap_;
+      o.ptr_ = o.small_;
+      o.cap_ = kInline;
+    } else {
+      std::memcpy(small_, o.small_, o.size_ * sizeof(std::uint64_t));
+      ptr_ = small_;
+      cap_ = kInline;
+    }
+    size_ = o.size_;
+    o.size_ = 0;
+  }
+
+  std::uint64_t small_[kInline];
+  std::uint64_t* ptr_{small_};
+  std::size_t size_{0};
+  std::size_t cap_{kInline};
+};
+
+}  // namespace detail
 
 /// Arbitrary-precision unsigned integer.
 class BigUint {
@@ -88,27 +212,63 @@ class BigUint {
   void trim();
   friend class Montgomery;
 
-  std::vector<std::uint64_t> limbs_;  // little-endian, normalized
+  detail::LimbVec limbs_;  // little-endian, normalized
+};
+
+/// Reusable scratch for Montgomery exponentiation: one flat buffer that grows
+/// to the largest request and is then handed out allocation-free. Not
+/// thread-safe; each thread (or each exclusively-owned context) keeps its own.
+class MontWorkspace {
+ public:
+  std::uint64_t* ensure(std::size_t limbs) {
+    if (buf_.size() < limbs) buf_.resize(limbs);
+    return buf_.data();
+  }
+
+ private:
+  std::vector<std::uint64_t> buf_;
 };
 
 /// Montgomery context for repeated modular multiplication mod an odd modulus.
+/// Immutable after construction — safe to share across threads (per-call
+/// scratch comes from a MontWorkspace, not the context).
 class Montgomery {
  public:
   explicit Montgomery(const BigUint& modulus);
 
-  /// x^e mod m using 4-bit fixed-window exponentiation.
+  /// x^e mod m using 4-bit fixed-window exponentiation, scratch from `ws`.
+  /// Steady-state allocation-free once the workspace has grown to size and
+  /// the result fits BigUint's inline storage (any modulus <= 2048 bits).
+  BigUint pow(const BigUint& base, const BigUint& exp, MontWorkspace& ws) const;
+
+  /// Convenience overload using a thread-local workspace: repeated calls on
+  /// any one thread reuse the same scratch, whichever context they go
+  /// through. (The workspace cannot live in the context itself: one
+  /// RsaVerifyContext fans out across the worker pool's threads.)
   BigUint pow(const BigUint& base, const BigUint& exp) const;
+
+  /// Destination-passing CIOS multiply-reduce: dst = a*b*R^{-1} mod m, with
+  /// a, b, dst all `limbs()` limbs and `scratch` at least limbs()+2. dst may
+  /// alias a and/or b. Never allocates.
+  void mont_mul(std::uint64_t* dst, const std::uint64_t* a,
+                const std::uint64_t* b, std::uint64_t* scratch) const;
+
+  /// Limbs per operand in this context (the modulus length).
+  std::size_t limbs() const { return n_; }
+
+  /// Workspace limbs pow() needs for this context (window table + scratch).
+  std::size_t pow_workspace_limbs() const { return 19 * n_ + 2; }
 
   const BigUint& modulus() const { return modulus_; }
 
  private:
-  std::vector<std::uint64_t> mont_mul(const std::vector<std::uint64_t>& a,
-                                      const std::vector<std::uint64_t>& b) const;
-  std::vector<std::uint64_t> to_mont(const BigUint& x) const;
-  BigUint from_mont(const std::vector<std::uint64_t>& x) const;
+  /// dst (n limbs) = x * R mod m. Cold-path divmod only when x >= m.
+  void to_mont(std::uint64_t* dst, const BigUint& x, std::uint64_t* scratch) const;
 
   BigUint modulus_;
-  BigUint rr_;  // R^2 mod m, for conversion into Montgomery form
+  std::vector<std::uint64_t> rr_;        // R^2 mod m, n limbs
+  std::vector<std::uint64_t> one_mont_;  // R mod m: Montgomery form of 1, n limbs
+  std::vector<std::uint64_t> one_;       // plain 1 zero-padded to n limbs
   std::uint64_t n0_{0};  // -m^{-1} mod 2^64
   std::size_t n_{0};
 };

@@ -58,23 +58,32 @@ RsaKeyPair rsa_generate(Rng& rng, int modulus_bits) {
 }
 
 Bytes rsa_sign(const RsaPrivateKey& key, std::span<const std::uint8_t> msg) {
-  const std::size_t k = (key.n.bit_length() + 7) / 8;
-  const Bytes em = emsa_encode(sha256(msg), k);
+  return RsaSignContext(key).sign(msg);
+}
+
+RsaSignContext::RsaSignContext(RsaPrivateKey key)
+    : key_(std::move(key)),
+      mont_p_(key_.p),
+      mont_q_(key_.q),
+      k_(static_cast<std::size_t>(key_.n.bit_length() + 7) / 8) {}
+
+Bytes RsaSignContext::sign(std::span<const std::uint8_t> msg) const {
+  const Bytes em = emsa_encode(sha256(msg), k_);
   const BigUint m = BigUint::from_bytes(em);
 
   // CRT: s = CRT(m^dp mod p, m^dq mod q).
-  const BigUint s1 = (m % key.p).mod_pow(key.dp, key.p);
-  const BigUint s2 = (m % key.q).mod_pow(key.dq, key.q);
+  const BigUint s1 = mont_p_.pow(m % key_.p, key_.dp);
+  const BigUint s2 = mont_q_.pow(m % key_.q, key_.dq);
   // h = q_inv * (s1 - s2) mod p
   BigUint diff;
-  if (s1 >= s2 % key.p) {
-    diff = s1 - (s2 % key.p);
+  if (s1 >= s2 % key_.p) {
+    diff = s1 - (s2 % key_.p);
   } else {
-    diff = s1 + key.p - (s2 % key.p);
+    diff = s1 + key_.p - (s2 % key_.p);
   }
-  const BigUint h = (key.q_inv * diff) % key.p;
-  const BigUint s = s2 + key.q * h;
-  return s.to_bytes(k);
+  const BigUint h = (key_.q_inv * diff) % key_.p;
+  const BigUint s = s2 + key_.q * h;
+  return s.to_bytes(k_);
 }
 
 bool rsa_verify(const RsaPublicKey& key, std::span<const std::uint8_t> msg,

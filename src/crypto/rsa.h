@@ -47,6 +47,28 @@ Bytes rsa_sign(const RsaPrivateKey& key, std::span<const std::uint8_t> msg);
 bool rsa_verify(const RsaPublicKey& key, std::span<const std::uint8_t> msg,
                 std::span<const std::uint8_t> sig);
 
+/// Reusable signing context for one private key. `rsa_sign` rebuilds the two
+/// CRT Montgomery contexts (n0' and R^2 for both p and q) on every call; the
+/// intersection manager signs every block with the *same* key, so this
+/// precomputes them once and each signature pays only the two half-size
+/// modexps plus the CRT recombination. Immutable after construction — safe to
+/// share across threads.
+class RsaSignContext {
+ public:
+  explicit RsaSignContext(RsaPrivateKey key);
+
+  /// Same bytes as rsa_sign(key(), msg) for every input.
+  Bytes sign(std::span<const std::uint8_t> msg) const;
+
+  const RsaPrivateKey& key() const { return key_; }
+
+ private:
+  RsaPrivateKey key_;
+  Montgomery mont_p_;
+  Montgomery mont_q_;
+  std::size_t k_{0};  ///< modulus length in bytes
+};
+
 /// Reusable verification context for one public key. `rsa_verify` rebuilds
 /// the Montgomery machinery (n0' and R^2 mod n, a full big divmod) on every
 /// call; in NWADE every vehicle verifies every block against the *same* IM

@@ -47,6 +47,7 @@ class HmacVerifier final : public Verifier {
 
 RsaSigner::RsaSigner(RsaKeyPair key_pair)
     : key_(std::move(key_pair)),
+      sign_ctx_(key_.priv),
       verifier_(std::make_shared<RsaVerifier>(key_.pub)) {}
 
 std::unique_ptr<RsaSigner> RsaSigner::generate(Rng& rng, int modulus_bits) {
@@ -54,7 +55,7 @@ std::unique_ptr<RsaSigner> RsaSigner::generate(Rng& rng, int modulus_bits) {
 }
 
 Bytes RsaSigner::sign(std::span<const std::uint8_t> msg) const {
-  return rsa_sign(key_.priv, msg);
+  return sign_ctx_.sign(msg);
 }
 
 std::shared_ptr<const Verifier> RsaSigner::verifier() const { return verifier_; }

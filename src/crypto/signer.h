@@ -59,6 +59,7 @@ class RsaSigner final : public Signer {
 
  private:
   RsaKeyPair key_;
+  RsaSignContext sign_ctx_;  ///< CRT Montgomery contexts, built once per key
   std::shared_ptr<const Verifier> verifier_;
 };
 

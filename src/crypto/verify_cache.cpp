@@ -2,8 +2,6 @@
 
 #include <limits>
 
-#include "util/bytes.h"
-
 namespace nwade::crypto {
 
 SigVerifyCache& SigVerifyCache::instance() {
@@ -16,10 +14,13 @@ Digest SigVerifyCache::key_of(const Digest& verifier_fingerprint,
                               std::span<const std::uint8_t> sig) {
   Sha256 h;
   h.update(verifier_fingerprint);
-  // Length prefixes keep (msg, sig) boundaries unambiguous.
-  ByteWriter w;
-  w.u64(msg.size());
-  h.update(w.data());
+  // Length prefix keeps the (msg, sig) boundary unambiguous. Encoded on the
+  // stack (little-endian u64, same bytes ByteWriter::u64 would emit): this
+  // runs on every cache *hit*, so it must not touch the heap.
+  std::uint8_t len[8];
+  const std::uint64_t n = msg.size();
+  for (int i = 0; i < 8; ++i) len[i] = static_cast<std::uint8_t>(n >> (8 * i));
+  h.update(len);
   h.update(msg);
   h.update(sig);
   return h.finish();

@@ -68,8 +68,8 @@ bool Network::packet_lost(const Envelope& env) {
   return false;
 }
 
-void Network::schedule_delivery(const Envelope& env, Tick arrival) {
-  queue_.schedule_at(arrival, [this, env]() {
+void Network::schedule_delivery(Envelope env, Tick arrival) {
+  queue_.schedule_at(arrival, [this, env = std::move(env)]() {
     // The receiver may have left the intersection (deregistered) in flight.
     const auto it = nodes_.find(env.to);
     if (it == nodes_.end()) return;
@@ -109,17 +109,21 @@ void Network::deliver_later(Envelope env) {
     return;
   }
   // Randomness is only consumed when a feature is on, so zero-fault profiles
-  // reproduce pre-fault-layer runs bit for bit.
+  // reproduce pre-fault-layer runs bit for bit. All draws (arrival jitter,
+  // dup chance, dup jitter) happen before the envelope moves into the queue,
+  // preserving the seed draw order exactly.
   Tick arrival = clock_.now() + config_.latency_ms;
   if (fault.jitter_ms > 0) arrival += rng_.uniform_int(0, fault.jitter_ms);
-  schedule_delivery(env, arrival);
 
   if (fault.duplicate_probability > 0 && rng_.chance(fault.duplicate_probability)) {
     stats_.packets_duplicated++;
     Tick dup_arrival = clock_.now() + config_.latency_ms;
     if (fault.jitter_ms > 0) dup_arrival += rng_.uniform_int(0, fault.jitter_ms);
-    schedule_delivery(env, dup_arrival);
+    schedule_delivery(env, arrival);  // original enqueues first, as before
+    schedule_delivery(std::move(env), dup_arrival);
+    return;
   }
+  schedule_delivery(std::move(env), arrival);
 }
 
 void Network::unicast(NodeId from, NodeId to, MessagePtr msg) {
@@ -199,9 +203,10 @@ void Network::broadcast(NodeId from, MessagePtr msg) {
   const auto sender = nodes_.find(from);
   if (sender == nodes_.end()) return;
   const geom::Vec2 origin = sender->second->position();
-  std::vector<NodeId> receivers;
-  collect_receivers(from, origin, receivers);
-  for (const NodeId id : receivers) {
+  collect_receivers(from, origin, receivers_);
+  for (const NodeId id : receivers_) {
+    // Every receiver's envelope shares the one message object (refcount
+    // bump, no copy of the serialized payload).
     deliver_later(Envelope{from, id, /*broadcast=*/true, clock_.now(), msg, origin});
   }
 }

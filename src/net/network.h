@@ -123,7 +123,10 @@ class Network {
   /// Gilbert–Elliott chain (advanced one step per copy), then link rules.
   bool packet_lost(const Envelope& env);
   void count_drop(const Envelope& env);
-  void schedule_delivery(const Envelope& env, Tick arrival);
+  /// Moves the envelope into the event queue (one shared_ptr refcount bump,
+  /// no payload copy): fan-out messages are immutable once sent, so every
+  /// receiver's envelope aliases the same serialized message object.
+  void schedule_delivery(Envelope env, Tick arrival);
   /// Fills `out` with the ids of every registered node (sender excluded)
   /// whose *current* position is within the communication radius of
   /// `origin`, ascending. Grid-accelerated unless quadratic_reference.
@@ -144,6 +147,7 @@ class Network {
   // node that moved since the snapshot (mid-step broadcasts) still shows up
   // as a candidate; the exact range check always runs on live positions.
   geom::SpatialHash grid_{64.0};
+  std::vector<NodeId> receivers_;         ///< reused broadcast receiver list
   std::vector<NodeId> grid_ids_;          ///< grid index -> node id
   std::vector<std::size_t> grid_scratch_; ///< reused candidate buffer
   std::unordered_set<NodeId> candidates_; ///< reused candidate id set

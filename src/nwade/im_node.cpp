@@ -529,15 +529,18 @@ int ImNode::ask_group(VerificationRound& round, Tick now) {
               return a.status.position.distance_to(center) <
                      b.status.position.distance_to(center);
             });
+  // One immutable request shared across the whole verifier group — the same
+  // serialize-once pattern broadcast fan-outs use, instead of a fresh
+  // allocation per unicast.
+  auto req = std::make_shared<VerifyRequest>();
+  req->request_id = round.id;
+  req->suspect = round.suspect;
   int asked = 0;
   for (const Observation& obs : candidates) {
     if (asked >= kVerifierGroupSize) break;
     if (round.asked_ever.contains(obs.id)) continue;  // disjoint second group
     round.asked_ever.insert(obs.id);
-    auto req = std::make_shared<VerifyRequest>();
-    req->request_id = round.id;
-    req->suspect = round.suspect;
-    ctx_.network->unicast(node_id(), vehicle_node(obs.id), std::move(req));
+    ctx_.network->unicast(node_id(), vehicle_node(obs.id), req);
     ++asked;
   }
   return asked;

@@ -1,0 +1,126 @@
+#include "util/alloc_stats.h"
+
+#ifdef NWADE_COUNT_ALLOCS
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+namespace {
+
+// Trivially-initialized TLS: safe to touch from inside operator new (no
+// dynamic initialization, no init guard, so no recursion hazard).
+thread_local std::uint64_t t_allocs = 0;
+thread_local std::uint64_t t_frees = 0;
+std::atomic<std::uint64_t> g_allocs{0};
+std::atomic<std::uint64_t> g_frees{0};
+
+void* counted_alloc(std::size_t size) noexcept {
+  ++t_allocs;
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(size != 0 ? size : 1);
+}
+
+void* counted_aligned_alloc(std::size_t size, std::size_t align) noexcept {
+  ++t_allocs;
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (align < sizeof(void*)) align = sizeof(void*);
+  void* p = nullptr;
+  if (posix_memalign(&p, align, size != 0 ? size : 1) != 0) return nullptr;
+  return p;
+}
+
+void counted_free(void* p) noexcept {
+  if (p == nullptr) return;
+  ++t_frees;
+  g_frees.fetch_add(1, std::memory_order_relaxed);
+  std::free(p);
+}
+
+}  // namespace
+
+// Replaceable global allocation functions — every form, so no allocation
+// can slip past the count through an array/nothrow/aligned variant.
+void* operator new(std::size_t size) {
+  void* p = counted_alloc(size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+void* operator new[](std::size_t size) {
+  void* p = counted_alloc(size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  return counted_alloc(size);
+}
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  return counted_alloc(size);
+}
+void* operator new(std::size_t size, std::align_val_t align) {
+  void* p = counted_aligned_alloc(size, static_cast<std::size_t>(align));
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  void* p = counted_aligned_alloc(size, static_cast<std::size_t>(align));
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+void* operator new(std::size_t size, std::align_val_t align,
+                   const std::nothrow_t&) noexcept {
+  return counted_aligned_alloc(size, static_cast<std::size_t>(align));
+}
+void* operator new[](std::size_t size, std::align_val_t align,
+                     const std::nothrow_t&) noexcept {
+  return counted_aligned_alloc(size, static_cast<std::size_t>(align));
+}
+
+void operator delete(void* p) noexcept { counted_free(p); }
+void operator delete[](void* p) noexcept { counted_free(p); }
+void operator delete(void* p, std::size_t) noexcept { counted_free(p); }
+void operator delete[](void* p, std::size_t) noexcept { counted_free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { counted_free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept { counted_free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { counted_free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { counted_free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  counted_free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  counted_free(p);
+}
+void operator delete(void* p, std::align_val_t, const std::nothrow_t&) noexcept {
+  counted_free(p);
+}
+void operator delete[](void* p, std::align_val_t, const std::nothrow_t&) noexcept {
+  counted_free(p);
+}
+
+namespace nwade::util {
+
+bool alloc_counting_enabled() { return true; }
+std::uint64_t thread_alloc_count() { return t_allocs; }
+std::uint64_t thread_free_count() { return t_frees; }
+std::uint64_t process_alloc_count() {
+  return g_allocs.load(std::memory_order_relaxed);
+}
+std::uint64_t process_free_count() {
+  return g_frees.load(std::memory_order_relaxed);
+}
+
+}  // namespace nwade::util
+
+#else  // !NWADE_COUNT_ALLOCS
+
+namespace nwade::util {
+
+bool alloc_counting_enabled() { return false; }
+std::uint64_t thread_alloc_count() { return 0; }
+std::uint64_t thread_free_count() { return 0; }
+std::uint64_t process_alloc_count() { return 0; }
+std::uint64_t process_free_count() { return 0; }
+
+}  // namespace nwade::util
+
+#endif  // NWADE_COUNT_ALLOCS

@@ -1,0 +1,39 @@
+// Heap-allocation counters behind the NWADE_COUNT_ALLOCS build option.
+//
+// When the tree is configured with -DNWADE_COUNT_ALLOCS=ON, the global
+// operator new/delete (every form: array, nothrow, aligned, sized) are
+// replaced with counting wrappers, and the accessors below report how many
+// allocations the calling thread (or the whole process) has performed. This
+// is what makes "the hot path does not allocate" an enforceable property
+// instead of a code-review claim: the `alloc`-labeled tests meter a warmed
+// steady-state operation and assert the delta is zero, and the benches
+// publish an `allocs_per_op` column in their nwade-bench-v1 envelopes.
+//
+// In the default build (option OFF) nothing is replaced, the accessors
+// return 0, and there is zero overhead — the counters exist only in builds
+// that asked for them.
+#pragma once
+
+#include <cstdint>
+
+namespace nwade::util {
+
+/// True when the binary was built with -DNWADE_COUNT_ALLOCS=ON and global
+/// operator new/delete route through the counters below. Gate tests on this
+/// (skip when false) so the default build stays green.
+bool alloc_counting_enabled();
+
+/// Heap allocations performed by the calling thread since it started.
+/// Meter a steady-state operation as the delta across it (single-threaded:
+/// nothing else can perturb a thread-local count). Always 0 when off.
+std::uint64_t thread_alloc_count();
+
+/// Heap deallocations by the calling thread. Always 0 when off.
+std::uint64_t thread_free_count();
+
+/// Process-wide allocation/deallocation totals (relaxed atomics; exact once
+/// other threads are quiescent). Always 0 when off.
+std::uint64_t process_alloc_count();
+std::uint64_t process_free_count();
+
+}  // namespace nwade::util

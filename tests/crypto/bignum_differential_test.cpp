@@ -1,0 +1,280 @@
+// Randomized differential suite for BigUint.
+//
+// The small-buffer-optimized limb storage replaced std::vector wholesale, so
+// this suite pins the new arithmetic against a retained reference
+// implementation: the pre-SBO schoolbook routines, re-expressed here over a
+// plain std::vector<u64> exactly as the seed tree computed them. Every
+// operation runs in lock-step on random operand pairs whose sizes straddle
+// the inline capacity (33 limbs = 2048 bits + carry), including the
+// inline→heap spill edge and asymmetric pairs, so a bug in grow/steal/assign
+// or in any ported loop shows up as a mismatch, not as silent corruption.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "crypto/bignum.h"
+#include "util/rng.h"
+
+namespace nwade::crypto {
+namespace {
+
+using u64 = std::uint64_t;
+using u128 = unsigned __int128;
+
+// --- reference path: the seed's vector-based limb arithmetic -----------------
+
+namespace ref {
+
+using Limbs = std::vector<u64>;  // little-endian, normalized
+
+void trim(Limbs& a) {
+  while (!a.empty() && a.back() == 0) a.pop_back();
+}
+
+int compare(const Limbs& a, const Limbs& b) {
+  if (a.size() != b.size()) return a.size() < b.size() ? -1 : 1;
+  for (std::size_t i = a.size(); i-- > 0;) {
+    if (a[i] != b[i]) return a[i] < b[i] ? -1 : 1;
+  }
+  return 0;
+}
+
+int bit_length(const Limbs& a) {
+  if (a.empty()) return 0;
+  int top = 64;
+  for (u64 v = a.back(); (v >> 63) == 0; v <<= 1) --top;
+  return static_cast<int>((a.size() - 1) * 64) + top;
+}
+
+Limbs add(const Limbs& a, const Limbs& b) {
+  const std::size_t n = std::max(a.size(), b.size());
+  Limbs out(n + 1, 0);
+  u64 carry = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const u64 ai = i < a.size() ? a[i] : 0;
+    const u64 bi = i < b.size() ? b[i] : 0;
+    const u128 sum = static_cast<u128>(ai) + bi + carry;
+    out[i] = static_cast<u64>(sum);
+    carry = static_cast<u64>(sum >> 64);
+  }
+  out[n] = carry;
+  trim(out);
+  return out;
+}
+
+Limbs sub(const Limbs& a, const Limbs& b) {  // requires a >= b
+  Limbs out(a.size(), 0);
+  u64 borrow = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const u64 rhs = i < b.size() ? b[i] : 0;
+    u64 diff = a[i] - rhs;
+    const u64 borrow_next = (a[i] < rhs) || (diff < borrow) ? 1 : 0;
+    diff -= borrow;
+    out[i] = diff;
+    borrow = borrow_next;
+  }
+  trim(out);
+  return out;
+}
+
+Limbs mul(const Limbs& a, const Limbs& b) {
+  if (a.empty() || b.empty()) return {};
+  Limbs out(a.size() + b.size(), 0);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    u64 carry = 0;
+    for (std::size_t j = 0; j < b.size(); ++j) {
+      const u128 cur = static_cast<u128>(a[i]) * b[j] + out[i + j] + carry;
+      out[i + j] = static_cast<u64>(cur);
+      carry = static_cast<u64>(cur >> 64);
+    }
+    out[i + b.size()] += carry;
+  }
+  trim(out);
+  return out;
+}
+
+Limbs shl(const Limbs& a, int bits) {
+  if (a.empty() || bits == 0) return a;
+  const int limb_shift = bits / 64;
+  const int bit_shift = bits % 64;
+  Limbs out(a.size() + limb_shift + 1, 0);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    out[i + limb_shift] |= a[i] << bit_shift;
+    if (bit_shift != 0) out[i + limb_shift + 1] |= a[i] >> (64 - bit_shift);
+  }
+  trim(out);
+  return out;
+}
+
+Limbs shr(const Limbs& a, int bits) {
+  if (a.empty() || bits == 0) return a;
+  const std::size_t limb_shift = static_cast<std::size_t>(bits) / 64;
+  const int bit_shift = bits % 64;
+  if (limb_shift >= a.size()) return {};
+  Limbs out(a.size() - limb_shift, 0);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = a[i + limb_shift] >> bit_shift;
+    if (bit_shift != 0 && i + limb_shift + 1 < a.size()) {
+      out[i] |= a[i + limb_shift + 1] << (64 - bit_shift);
+    }
+  }
+  trim(out);
+  return out;
+}
+
+std::pair<Limbs, Limbs> divmod(const Limbs& a, const Limbs& d) {
+  if (compare(a, d) < 0) return {{}, a};
+  if (d.size() == 1) {
+    Limbs q(a.size(), 0);
+    u128 rem = 0;
+    for (std::size_t i = a.size(); i-- > 0;) {
+      const u128 cur = (rem << 64) | a[i];
+      q[i] = static_cast<u64>(cur / d[0]);
+      rem = cur % d[0];
+    }
+    trim(q);
+    Limbs r;
+    if (rem != 0) r.push_back(static_cast<u64>(rem));
+    return {q, r};
+  }
+  const int shift = bit_length(a) - bit_length(d);
+  Limbs rem = a;
+  Limbs den = shl(d, shift);
+  Limbs quo(static_cast<std::size_t>(shift) / 64 + 1, 0);
+  for (int i = shift; i >= 0; --i) {
+    if (compare(rem, den) >= 0) {
+      rem = sub(rem, den);
+      quo[static_cast<std::size_t>(i) / 64] |= 1ULL << (i % 64);
+    }
+    den = shr(den, 1);
+  }
+  trim(quo);
+  return {quo, rem};
+}
+
+Limbs from_bytes(const Bytes& be) {
+  Limbs out((be.size() + 7) / 8, 0);
+  for (std::size_t i = 0; i < be.size(); ++i) {
+    const std::size_t bit = 8 * (be.size() - 1 - i);
+    out[bit / 64] |= static_cast<u64>(be[i]) << (bit % 64);
+  }
+  trim(out);
+  return out;
+}
+
+}  // namespace ref
+
+// --- lock-step harness --------------------------------------------------------
+
+/// Converts a BigUint to reference limbs for comparison.
+ref::Limbs limbs_of(const BigUint& x) {
+  ref::Limbs out(x.limb_count());
+  for (std::size_t i = 0; i < out.size(); ++i) out[i] = x.limb(i);
+  return out;
+}
+
+/// One operand drawn as (BigUint, reference) from identical random bytes.
+struct Pair {
+  BigUint b;
+  ref::Limbs r;
+};
+
+/// Byte lengths chosen to straddle the 33-limb inline capacity from both
+/// sides: comfortably inline, exactly at the 2048-bit edge, one bit past it
+/// (the first value that must spill once a carry limb rides along), and far
+/// beyond (key-generation-sized).
+constexpr std::size_t kByteLens[] = {0, 1, 8, 63, 64, 255, 256,
+                                     257, 264, 265, 272, 511, 512};
+
+Pair random_pair(Rng& rng) {
+  const std::size_t len = kByteLens[static_cast<std::size_t>(
+      rng.uniform_int(0, static_cast<std::int64_t>(std::size(kByteLens)) - 1))];
+  Bytes bytes(len);
+  for (auto& b : bytes) b = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+  if (rng.chance(0.1) && !bytes.empty()) bytes[0] = 0;  // leading zeros
+  return Pair{BigUint::from_bytes(bytes), ref::from_bytes(bytes)};
+}
+
+TEST(BigUintDifferential, ArithmeticLockStepOnRandomPairs) {
+  Rng rng(0xD1FF);
+  for (int i = 0; i < 10000; ++i) {
+    const Pair x = random_pair(rng);
+    const Pair y = random_pair(rng);
+
+    EXPECT_EQ(limbs_of(x.b + y.b), ref::add(x.r, y.r)) << "add, iter " << i;
+    EXPECT_EQ(limbs_of(x.b * y.b), ref::mul(x.r, y.r)) << "mul, iter " << i;
+    EXPECT_EQ(x.b.compare(y.b), ref::compare(x.r, y.r)) << "cmp, iter " << i;
+    if (x.b >= y.b) {
+      EXPECT_EQ(limbs_of(x.b - y.b), ref::sub(x.r, y.r)) << "sub, iter " << i;
+    } else {
+      EXPECT_EQ(limbs_of(y.b - x.b), ref::sub(y.r, x.r)) << "sub, iter " << i;
+    }
+    const int sh = static_cast<int>(rng.uniform_int(0, 200));
+    EXPECT_EQ(limbs_of(x.b << sh), ref::shl(x.r, sh)) << "shl, iter " << i;
+    EXPECT_EQ(limbs_of(x.b >> sh), ref::shr(x.r, sh)) << "shr, iter " << i;
+  }
+}
+
+TEST(BigUintDifferential, DivmodLockStepOnRandomPairs) {
+  Rng rng(0xD1FD);
+  int done = 0;
+  while (done < 1000) {
+    const Pair x = random_pair(rng);
+    const Pair y = random_pair(rng);
+    if (y.b.is_zero()) continue;
+    ++done;
+    const auto [q, r] = x.b.divmod(y.b);
+    const auto [rq, rr] = ref::divmod(x.r, y.r);
+    EXPECT_EQ(limbs_of(q), rq) << "quotient, iter " << done;
+    EXPECT_EQ(limbs_of(r), rr) << "remainder, iter " << done;
+  }
+}
+
+TEST(BigUintDifferential, SpillEdgeCrossings) {
+  // Deterministic walk across the inline→heap boundary: values of exactly
+  // 2047/2048/2049/2112/2113 bits, squared and shifted so results land on
+  // both sides of the 33-limb capacity, plus the carry-limb edge (a sum of
+  // two full 2048-bit values still fits inline; the product does not).
+  Rng rng(0x5B0);
+  for (const int bits : {2047, 2048, 2049, 2112, 2113, 4096}) {
+    const BigUint a = BigUint::random_bits(rng, bits);
+    const ref::Limbs ar = limbs_of(a);
+    EXPECT_EQ(limbs_of(a + a), ref::add(ar, ar)) << bits << " bits";
+    EXPECT_EQ(limbs_of(a * a), ref::mul(ar, ar)) << bits << " bits";
+    EXPECT_EQ(limbs_of(a << 64), ref::shl(ar, 64)) << bits << " bits";
+    EXPECT_EQ(limbs_of((a * a) >> bits), ref::shr(ref::mul(ar, ar), bits))
+        << bits << " bits";
+    const auto [q, r] = (a * a).divmod(a);
+    EXPECT_EQ(limbs_of(q), ar) << bits << " bits";
+    EXPECT_TRUE(r.is_zero()) << bits << " bits";
+  }
+}
+
+TEST(BigUintDifferential, FromToBytesRoundTripFuzz) {
+  Rng rng(0xB17E5);
+  for (int i = 0; i < 2000; ++i) {
+    const std::size_t len = static_cast<std::size_t>(rng.uniform_int(0, 600));
+    Bytes bytes(len);
+    for (auto& b : bytes) b = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+    const std::size_t lead = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<int>(std::min<std::size_t>(len, 9))));
+    for (std::size_t j = 0; j < lead; ++j) bytes[j] = 0;
+
+    const BigUint v = BigUint::from_bytes(bytes);
+    // Minimal form drops exactly the leading zeros.
+    std::size_t first = 0;
+    while (first < len && bytes[first] == 0) ++first;
+    const Bytes minimal(bytes.begin() + static_cast<std::ptrdiff_t>(first),
+                        bytes.end());
+    EXPECT_EQ(v.to_bytes(), minimal) << "iter " << i;
+    // Padded back to the original length, the round trip is the identity.
+    EXPECT_EQ(v.to_bytes(len), bytes) << "iter " << i;
+    // And the value survives a second parse.
+    EXPECT_EQ(BigUint::from_bytes(v.to_bytes(len)), v) << "iter " << i;
+  }
+}
+
+}  // namespace
+}  // namespace nwade::crypto
