@@ -9,6 +9,9 @@
 //      tree, and pays a full RSA modexp — emulated by disabling the
 //      process-wide SigVerifyCache) vs the shared-block fanout_verify path
 //      (one Block object, cached payload/tree, one modexp for the fleet).
+//   C. the telemetry tax: the same seeded World run with the event tracer
+//      off vs on. The envelope carries the measured overhead as a top-level
+//      telemetry_overhead_pct field (docs/OBSERVABILITY.md quotes it).
 //
 // Emits BENCH_hot_paths.json in the nwade-bench-v1 envelope (support.h).
 // `--smoke` shrinks every dimension and validates the JSON round-trip; the
@@ -118,6 +121,23 @@ bench::TimingStats time_fanout_cached(const chain::Block& block,
   });
 }
 
+// --- phase C: telemetry overhead on a whole-World run ------------------------
+
+bench::TimingStats time_world_run(Duration duration_ms, bool trace, int warmup,
+                                  int reps) {
+  return bench::timed_median(warmup, reps, [&] {
+    sim::ScenarioConfig cfg;
+    cfg.intersection.kind = traffic::IntersectionKind::kCross4;
+    cfg.vehicles_per_minute = 80;
+    cfg.duration_ms = duration_ms;
+    cfg.seed = 11;
+    cfg.trace_enabled = trace;
+    sim::World world(std::move(cfg));
+    const auto summary = world.run();
+    if (summary.metrics.vehicles_spawned == 0) std::abort();
+  });
+}
+
 int run(const Options& opt) {
   const auto t_start = std::chrono::steady_clock::now();
 
@@ -162,6 +182,19 @@ int run(const Options& opt) {
                                  ? fan_uncached.median_ms / fan_cached_1.median_ms
                                  : 0;
 
+  const Duration world_ms = opt.smoke ? 30'000 : 120'000;
+  std::printf("phase C: %lld ms World run, tracer off vs on\n",
+              static_cast<long long>(world_ms));
+  const auto world_untraced =
+      time_world_run(world_ms, /*trace=*/false, warmup, reps);
+  const auto world_traced =
+      time_world_run(world_ms, /*trace=*/true, warmup, reps);
+  const double telemetry_overhead_pct =
+      world_untraced.median_ms > 0
+          ? (world_traced.median_ms - world_untraced.median_ms) * 100.0 /
+                world_untraced.median_ms
+          : 0;
+
   std::vector<std::string> phases = {
       bench::json_phase("schedule_dense_linear", sched_linear),
       bench::json_phase("schedule_dense_indexed", sched_indexed),
@@ -169,6 +202,8 @@ int run(const Options& opt) {
       bench::json_phase("fanout_verify_uncached", fan_uncached),
       bench::json_phase("fanout_verify_cached_pool1", fan_cached_1),
       bench::json_speedup("fanout_verify", fan_speedup),
+      bench::json_phase("world_run_untraced", world_untraced),
+      bench::json_phase("world_run_traced", world_traced),
   };
 
   // A multi-threaded pool point when the host has cores to spare. Kept out
@@ -185,7 +220,9 @@ int run(const Options& opt) {
   const double wall_s = std::chrono::duration<double>(
                             std::chrono::steady_clock::now() - t_start)
                             .count();
-  const std::string envelope = bench::bench_envelope("hot_paths", wall_s, phases);
+  const std::string envelope = bench::bench_envelope(
+      "hot_paths", wall_s, phases,
+      {bench::json_field("telemetry_overhead_pct", telemetry_overhead_pct, 2)});
   if (!bench::json_well_formed(envelope)) {
     std::fprintf(stderr, "FAIL: emitted envelope is not well-formed JSON\n");
     return 1;
@@ -205,12 +242,21 @@ int run(const Options& opt) {
       std::fprintf(stderr, "FAIL: %s did not round-trip\n", path.c_str());
       return 1;
     }
-    std::printf("smoke OK: envelope round-trips and parses\n");
+    if (envelope.find("\"telemetry_overhead_pct\"") == std::string::npos) {
+      std::fprintf(stderr,
+                   "FAIL: envelope is missing telemetry_overhead_pct\n");
+      return 1;
+    }
+    std::printf("smoke OK: envelope round-trips, parses, and reports the "
+                "telemetry overhead\n");
   } else {
     std::printf("schedule_dense speedup: %.2fx (linear %.2f ms -> indexed %.2f ms)\n",
                 sched_speedup, sched_linear.median_ms, sched_indexed.median_ms);
     std::printf("fanout_verify speedup:  %.2fx (uncached %.2f ms -> cached %.2f ms)\n",
                 fan_speedup, fan_uncached.median_ms, fan_cached_1.median_ms);
+    std::printf("telemetry overhead:     %.2f%% (untraced %.2f ms -> traced %.2f ms)\n",
+                telemetry_overhead_pct, world_untraced.median_ms,
+                world_traced.median_ms);
   }
   return 0;
 }

@@ -112,7 +112,13 @@ void usage(const char* argv0) {
       "  --quadratic                          brute-force reference sweeps\n"
       "  --paper-matrix                       all kinds x table1 attacks\n"
       "  --out PATH                           report JSON (default campaign.json)\n"
-      "  --results-out PATH                   deterministic results-only JSON\n",
+      "  --results-out PATH                   deterministic results-only JSON\n"
+      "  --trace                              record per-cell event traces\n"
+      "  --trace-out PATH                     Chrome trace_event JSON (implies\n"
+      "                                       --trace; load in ui.perfetto.dev)\n"
+      "  --trace-jsonl-out PATH               JSONL trace (implies --trace)\n"
+      "  --metrics-out PATH                   per-cell + merged registry\n"
+      "                                       snapshots (nwade-metrics-v1)\n",
       argv0);
 }
 
@@ -123,6 +129,9 @@ int main(int argc, char** argv) {
   cfg.duration_ms = 120'000;
   std::string out_path = "campaign.json";
   std::string results_path;
+  std::string trace_path;
+  std::string trace_jsonl_path;
+  std::string metrics_path;
 
   auto value = [&](int& i) -> const char* {
     if (i + 1 >= argc) {
@@ -165,6 +174,16 @@ int main(int argc, char** argv) {
       out_path = value(i);
     } else if (arg == "--results-out") {
       results_path = value(i);
+    } else if (arg == "--trace") {
+      cfg.trace = true;
+    } else if (arg == "--trace-out") {
+      trace_path = value(i);
+      cfg.trace = true;
+    } else if (arg == "--trace-jsonl-out") {
+      trace_jsonl_path = value(i);
+      cfg.trace = true;
+    } else if (arg == "--metrics-out") {
+      metrics_path = value(i);
     } else if (arg == "--help" || arg == "-h") {
       usage(argv[0]);
       return 0;
@@ -222,6 +241,29 @@ int main(int argc, char** argv) {
       return 1;
     }
     std::printf("wrote %s\n", results_path.c_str());
+  }
+  const auto write_file = [](const std::string& path,
+                             const std::string& content) {
+    std::ofstream out(path, std::ios::trunc);
+    out << content;
+    if (!out) {
+      std::fprintf(stderr, "failed to write %s\n", path.c_str());
+      return false;
+    }
+    std::printf("wrote %s\n", path.c_str());
+    return true;
+  };
+  if (!trace_path.empty() &&
+      !write_file(trace_path, sim::campaign_trace_json(results))) {
+    return 1;
+  }
+  if (!trace_jsonl_path.empty() &&
+      !write_file(trace_jsonl_path, sim::campaign_trace_jsonl(results))) {
+    return 1;
+  }
+  if (!metrics_path.empty() &&
+      !write_file(metrics_path, sim::campaign_metrics_json(cfg, results))) {
+    return 1;
   }
   return 0;
 }

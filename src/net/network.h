@@ -20,6 +20,8 @@
 #include "net/clock.h"
 #include "net/fault.h"
 #include "util/rng.h"
+#include "util/telemetry.h"
+#include "util/trace.h"
 #include "util/types.h"
 
 namespace nwade::net {
@@ -77,9 +79,20 @@ struct NetworkConfig {
   /// SchedulerConfig::linear_reference_scan); both paths deliver to the
   /// identical receiver set in the identical order.
   bool quadratic_reference{false};
+  /// Metrics registry backing the traffic accounting (net.* counters and
+  /// latency histograms). nullptr = the network owns a private registry, so
+  /// standalone construction keeps working and stats() is always live.
+  util::telemetry::Registry* registry{nullptr};
+  /// Event tracer for the fault-injection timeline (drop/outage/duplicate
+  /// instants). nullptr or disabled = zero-cost skip.
+  util::trace::Tracer* tracer{nullptr};
 };
 
 /// Cumulative traffic statistics; one packet = one (sender, receiver) copy.
+/// Since the telemetry layer landed this is a *view* rebuilt on demand from
+/// the registry-backed counters (`net.*`), value-identical to the old
+/// hand-rolled accounting — per-kind entries appear exactly when the old
+/// code would have created them, which is what keeps trace_golden byte-stable.
 struct NetworkStats {
   std::uint64_t packets_sent{0};      ///< receiver copies handed to the medium
   std::uint64_t packets_delivered{0};
@@ -111,12 +124,25 @@ class Network {
   /// sender (excluding the sender itself).
   void broadcast(NodeId from, MessagePtr msg);
 
-  const NetworkStats& stats() const { return stats_; }
-  void reset_stats() { stats_ = NetworkStats{}; }
+  /// Rebuilds the stats view from the registry counters and returns it.
+  /// The reference stays valid until the next stats()/reset_stats() call.
+  const NetworkStats& stats() const;
+  void reset_stats();
 
   const NetworkConfig& config() const { return config_; }
 
  private:
+  /// Cached per-kind counter handles; looked up once per kind, then every
+  /// packet copy of that kind is a few relaxed fetch_adds.
+  struct KindHandles {
+    util::telemetry::Counter packets;
+    util::telemetry::Counter bytes;
+    util::telemetry::Counter dropped;
+    util::telemetry::Counter duplicated;
+    util::telemetry::Histogram latency_ms;
+  };
+  KindHandles& kind_handles(const std::string& kind);
+
   void deliver_later(Envelope env);
   bool in_range(NodeId a, NodeId b) const;
   /// One loss decision for a packet copy: uniform loss, then the
@@ -126,7 +152,8 @@ class Network {
   /// Moves the envelope into the event queue (one shared_ptr refcount bump,
   /// no payload copy): fan-out messages are immutable once sent, so every
   /// receiver's envelope aliases the same serialized message object.
-  void schedule_delivery(Envelope env, Tick arrival);
+  void schedule_delivery(Envelope env, Tick arrival,
+                        util::telemetry::Histogram latency_ms);
   /// Fills `out` with the ids of every registered node (sender excluded)
   /// whose *current* position is within the communication radius of
   /// `origin`, ascending. Grid-accelerated unless quadratic_reference.
@@ -139,7 +166,23 @@ class Network {
   NetworkConfig config_;
   Rng rng_;
   std::unordered_map<NodeId, Node*> nodes_;
-  NetworkStats stats_;
+
+  /// Private registry used when the config injects none (standalone nets in
+  /// tests/benches). Must precede the handles below.
+  std::unique_ptr<util::telemetry::Registry> owned_registry_;
+  util::telemetry::Registry* registry_{nullptr};
+  util::trace::Tracer* tracer_{nullptr};
+  util::telemetry::Counter sent_;
+  util::telemetry::Counter delivered_;
+  util::telemetry::Counter dropped_;
+  util::telemetry::Counter out_of_range_;
+  util::telemetry::Counter duplicated_;
+  util::telemetry::Counter lost_outage_;
+  util::telemetry::Counter bytes_sent_;
+  util::telemetry::Gauge nodes_gauge_;
+  std::unordered_map<std::string, KindHandles> kind_handles_;
+  mutable NetworkStats stats_view_;
+
   bool ge_bad_{false};  ///< Gilbert–Elliott channel state
 
   // Broadcast-scan index: node positions snapshotted at most once per

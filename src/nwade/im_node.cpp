@@ -40,6 +40,24 @@ ImNode::ImNode(ImContext ctx, aim::SchedulerConfig scheduler_config,
   assert(ctx_.intersection && ctx_.config && ctx_.network && ctx_.clock &&
          ctx_.queue && ctx_.sensors && ctx_.signer && ctx_.metrics &&
          ctx_.malicious_ids);
+  if (ctx_.registry != nullptr) {
+    windows_counter_ = ctx_.registry->counter("aim.windows");
+    plans_scheduled_counter_ = ctx_.registry->counter("aim.plans_scheduled");
+    reservations_gauge_ = ctx_.registry->gauge("aim.reservations_active");
+  }
+}
+
+void ImNode::trace_instant(const char* cat, const char* name, Tick now,
+                           std::int64_t arg) const {
+  if (ctx_.tracer == nullptr || !util::trace::tracing_active()) return;
+  ctx_.tracer->instant(cat, name, now, "id", arg);
+}
+
+void ImNode::trace_round_end(const VerificationRound& round, Tick now) const {
+  if (ctx_.tracer == nullptr || !util::trace::tracing_active()) return;
+  ctx_.tracer->complete("nwade", "verify_round", round.started_at, now,
+                        /*wall_us=*/-1.0, "suspect",
+                        static_cast<std::int64_t>(round.suspect.value));
 }
 
 void ImNode::start() {
@@ -68,6 +86,7 @@ void ImNode::crash(Tick now) {
   suspect_stopped_checks_ = 0;
   set_state(ImState::kStandby);
   ctx_.metrics->im_crashes++;
+  trace_instant("im", "crash", now);
   NWADE_LOG(kInfo) << "IM crashed at t=" << now;
 }
 
@@ -95,6 +114,8 @@ void ImNode::restart(Tick now) {
   for (const auto& [vid, plan] : active_plans_) {
     scheduler_.reserve_virtual(plan);
   }
+  trace_instant("im", "restart", now,
+                static_cast<std::int64_t>(active_plans_.size()));
   NWADE_LOG(kInfo) << "IM restarted at t=" << now << "; recovered "
                    << active_plans_.size() << " active plans from "
                    << recent_blocks_.size() << " durable blocks";
@@ -152,20 +173,36 @@ void ImNode::process_window() {
   }
 
   set_state(ImState::kBlockPackaging);
+  const auto plan_count = static_cast<std::int64_t>(plans.size());
   for (const aim::TravelPlan& p : plans) active_plans_[p.vehicle] = p;
   publish_block(std::move(plans), /*count_timing=*/false);
-  ctx_.metrics->im_package_us.push_back(elapsed_us(t0));
+  const double window_us = elapsed_us(t0);
+  ctx_.metrics->im_package_us.push_back(window_us);
+  windows_counter_.inc();
+  plans_scheduled_counter_.inc(plan_count);
+  reservations_gauge_.set(
+      static_cast<std::int64_t>(scheduler_.reservation_count()));
+  if (ctx_.tracer != nullptr && util::trace::tracing_active()) {
+    ctx_.tracer->complete("aim", "process_window", now, ctx_.clock->now(),
+                          window_us, "plans", plan_count);
+  }
   set_state(ImState::kStandby);
 }
 
 void ImNode::publish_block(std::vector<aim::TravelPlan> plans, bool count_timing) {
   const Tick now = ctx_.clock->now();
+  const auto plan_count = static_cast<std::int64_t>(plans.size());
   const auto t0 = std::chrono::steady_clock::now();
   std::vector<VehicleId> revoked(confirmed_suspects_.begin(),
                                  confirmed_suspects_.end());
   chain::Block block = chain::Block::package(seq_, prev_hash_, now, std::move(plans),
                                              *ctx_.signer, std::move(revoked));
-  if (count_timing) ctx_.metrics->im_package_us.push_back(elapsed_us(t0));
+  const double package_us = elapsed_us(t0);
+  if (count_timing) ctx_.metrics->im_package_us.push_back(package_us);
+  if (ctx_.tracer != nullptr && util::trace::tracing_active()) {
+    ctx_.tracer->complete("chain", "package", now, now, package_us, "plans",
+                          plan_count);
+  }
   prev_hash_ = block.hash();
   ++seq_;
   ctx_.metrics->blocks_published++;
@@ -436,6 +473,8 @@ void ImNode::handle_incident_report(const IncidentReport& report, Tick now) {
 
   const VehicleId suspect = report.evidence.suspect;
   if (!suspect.valid() || suspect == report.reporter) return;
+  trace_instant("nwade", "incident_report_received", now,
+                static_cast<std::int64_t>(suspect.value));
   if (confirmed_suspects_.contains(suspect)) return;
 
   if (report.misbehavior_claim) {
@@ -493,16 +532,20 @@ void ImNode::start_verification(VehicleId suspect, VehicleId reporter, Tick now)
   round.id = next_round_id_++;
   round.suspect = suspect;
   round.reporters.insert(reporter);
+  round.started_at = now;
   round.asked_ever.insert(reporter);  // the reporter already voted, in effect
   const std::uint64_t id = round.id;
   rounds_[id] = std::move(round);
   round_by_suspect_[suspect] = id;
   ctx_.metrics->verify_rounds++;
+  trace_instant("nwade", "verify_round_start", now,
+                static_cast<std::int64_t>(suspect.value));
   set_state(ImState::kReportVerification);
 
   if (ask_group(rounds_[id], now) == 0) {
     // Nobody around to ask: fall back to trusting the single report.
     confirm_threat(suspect, now);
+    trace_round_end(rounds_[id], now);
     rounds_.erase(id);
     round_by_suspect_.erase(suspect);
     return;
@@ -566,6 +609,7 @@ void ImNode::tally_round(std::uint64_t round_id) {
   if (round.phase == 1) {
     if (!majority_abnormal) {
       dismiss_alarm(round.suspect, round.reporters, now);
+      trace_round_end(round, now);
       round_by_suspect_.erase(round.suspect);
       rounds_.erase(it);
       if (state_ == ImState::kReportVerification) set_state(ImState::kStandby);
@@ -575,6 +619,7 @@ void ImNode::tally_round(std::uint64_t round_id) {
     // a second, disjoint group to defeat majority-vote gaming (Section IV-B2).
     confirm_threat(round.suspect, now);
     if (!ctx_.config->double_check_verification) {
+      trace_round_end(round, now);
       round_by_suspect_.erase(round.suspect);
       rounds_.erase(it);
       return;
@@ -583,6 +628,7 @@ void ImNode::tally_round(std::uint64_t round_id) {
     round.votes.clear();
     if (ask_group(round, now) == 0) {
       // No second group available; the evacuation stands.
+      trace_round_end(round, now);
       round_by_suspect_.erase(round.suspect);
       rounds_.erase(it);
       return;
@@ -605,6 +651,7 @@ void ImNode::tally_round(std::uint64_t round_id) {
     dismiss_alarm(round.suspect, round.reporters, now);
     finish_evacuation(now);
   }
+  trace_round_end(round, now);
   round_by_suspect_.erase(round.suspect);
   rounds_.erase(it);
 }
@@ -612,6 +659,8 @@ void ImNode::tally_round(std::uint64_t round_id) {
 void ImNode::dismiss_alarm(VehicleId suspect, const std::set<VehicleId>& reporters,
                            Tick now) {
   ctx_.metrics->alarm_dismissals++;
+  trace_instant("nwade", "alarm_dismiss", now,
+                static_cast<std::int64_t>(suspect.value));
   bool any_malicious = false;
   for (VehicleId reporter : reporters) {
     // "record V_x's identity for future reference in case V_x is malicious".
@@ -657,6 +706,8 @@ void ImNode::confirm_threat(VehicleId suspect, Tick now) {
   suspect_stopped_checks_ = 0;
   set_state(ImState::kEvacuation);
   ctx_.metrics->evacuation_alerts++;
+  trace_instant("nwade", "evacuation_alert", now,
+                static_cast<std::int64_t>(suspect.value));
   if (ctx_.malicious_ids->contains(suspect)) {
     if (!ctx_.metrics->deviation_confirmed) ctx_.metrics->deviation_confirmed = now;
   } else {

@@ -27,6 +27,8 @@
 #include "nwade/messages.h"
 #include "nwade/metrics.h"
 #include "nwade/sensor.h"
+#include "util/telemetry.h"
+#include "util/trace.h"
 
 namespace nwade::protocol {
 
@@ -71,6 +73,10 @@ struct ImContext {
   Metrics* metrics{nullptr};
   /// Collusion roster for malicious modes; also used for metric labelling.
   const std::set<VehicleId>* malicious_ids{nullptr};
+  /// Optional telemetry (nullptr = inert handles / no trace); the World
+  /// injects its per-run registry and tracer here.
+  util::telemetry::Registry* registry{nullptr};
+  util::trace::Tracer* tracer{nullptr};
 };
 
 class ImNode final : public net::Node {
@@ -112,6 +118,7 @@ class ImNode final : public net::Node {
     VehicleId suspect;
     std::set<VehicleId> reporters;
     int phase{1};
+    Tick started_at{0};               ///< report time, for the trace span
     std::set<VehicleId> asked_ever;   ///< across both phases
     std::map<VehicleId, bool> votes;  ///< responder -> abnormal?
   };
@@ -154,6 +161,12 @@ class ImNode final : public net::Node {
 
   void set_state(ImState next) { state_ = next; }
 
+  /// Records an instant on the detection timeline (no-op unless tracing).
+  void trace_instant(const char* cat, const char* name, Tick now,
+                     std::int64_t arg = 0) const;
+  /// Closes a verification round's trace span [started_at, now].
+  void trace_round_end(const VerificationRound& round, Tick now) const;
+
   ImContext ctx_;
   aim::ReservationScheduler scheduler_;
   ImAttackProfile attack_;
@@ -188,6 +201,11 @@ class ImNode final : public net::Node {
   std::set<VehicleId> confirmed_suspects_;
   bool conflict_injected_{false};
   bool sham_alert_sent_{false};
+
+  /// Registry handles (inert no-ops when ctx_.registry is null).
+  util::telemetry::Counter windows_counter_;
+  util::telemetry::Counter plans_scheduled_counter_;
+  util::telemetry::Gauge reservations_gauge_;
 };
 
 }  // namespace nwade::protocol

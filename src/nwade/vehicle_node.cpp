@@ -50,6 +50,13 @@ VehicleNode::VehicleNode(VehicleContext ctx, VehicleId id, int route_id,
          ctx_.sensors && ctx_.metrics && ctx_.malicious_ids);
 }
 
+void VehicleNode::trace_instant(const char* cat, const char* name,
+                                Tick now) const {
+  if (ctx_.tracer == nullptr || !util::trace::tracing_active()) return;
+  ctx_.tracer->instant(cat, name, now, "vehicle",
+                       static_cast<std::int64_t>(id_.value));
+}
+
 geom::Vec2 VehicleNode::position() const {
   const auto& route = ctx_.intersection->route(route_id_);
   const geom::Vec2 on_path = route.path.point_at(s_);
@@ -219,6 +226,7 @@ void VehicleNode::step(Tick now, Duration dt_ms) {
     gr->suspect = last_evac_suspect_;
     ctx_.network->broadcast(node_id(), std::move(gr));
     ctx_.metrics->global_reports++;
+    trace_instant("nwade", "global_report", now);
   }
 }
 
@@ -252,6 +260,7 @@ void VehicleNode::enter_degraded(Tick now) {
     }
   }
   ctx_.metrics->degraded_entries++;
+  trace_instant("nwade", "degraded_enter", now);
   NWADE_LOG(kInfo) << "vehicle " << id_.value
                    << " entering degraded mode (no plan after " << plan_retries_
                    << " retries)";
@@ -388,6 +397,7 @@ void VehicleNode::watch(Tick now) {
         report->suspect_status = obs.status;
         ctx_.network->broadcast(node_id(), std::move(report));
         ctx_.metrics->global_reports++;
+        trace_instant("nwade", "global_report", now);
         if (!ctx_.metrics->sham_alert_detected) {
           ctx_.metrics->sham_alert_detected = now;
         }
@@ -501,6 +511,7 @@ void VehicleNode::report_incident(const Observation& obs, double deviation,
   if (const auto* latest = store_.latest()) report->block_seq = latest->seq;
   ctx_.network->unicast(node_id(), kImNodeId, std::move(report));
   ctx_.metrics->incident_reports++;
+  trace_instant("nwade", "incident_report", now);
   if (ctx_.malicious_ids->contains(obs.id) && !ctx_.metrics->first_true_incident) {
     ctx_.metrics->first_true_incident = now;
   }
@@ -647,7 +658,12 @@ void VehicleNode::handle_block(const chain::Block& block, Tick now) {
   const auto t0 = std::chrono::steady_clock::now();
   std::string why;
   const bool ok = verify_block(block, now, &why);
-  ctx_.metrics->vehicle_verify_us.push_back(elapsed_us(t0));
+  const double verify_us = elapsed_us(t0);
+  ctx_.metrics->vehicle_verify_us.push_back(verify_us);
+  if (ctx_.tracer != nullptr && util::trace::tracing_active()) {
+    ctx_.tracer->complete("chain", "verify_block", now, now, verify_us,
+                          "vehicle", static_cast<std::int64_t>(id_.value));
+  }
 
   if (!ok) {
     if (std::getenv("NWADE_DEBUG_VEHICLE")) {
@@ -860,6 +876,7 @@ void VehicleNode::handle_global_report(const GlobalReport& report, Tick now) {
           ir->misbehavior_claim = true;
           ctx_.network->unicast(node_id(), kImNodeId, std::move(ir));
           ctx_.metrics->incident_reports++;
+          trace_instant("nwade", "incident_report", now);
         }
       } else {
         // We never saw that block: fetch it from peers and judge then.
@@ -975,6 +992,7 @@ void VehicleNode::inject_false_incident(Tick now) {
   if (const auto* latest = store_.latest()) ir->block_seq = latest->seq;
   ctx_.network->unicast(node_id(), kImNodeId, std::move(ir));
   ctx_.metrics->incident_reports++;
+  trace_instant("nwade", "incident_report", now);
 
   // Amplify with a global report to sway distant vehicles.
   auto gr = std::make_shared<GlobalReport>();
@@ -984,6 +1002,7 @@ void VehicleNode::inject_false_incident(Tick now) {
   gr->suspect_status = fabricated.observed;
   ctx_.network->broadcast(node_id(), std::move(gr));
   ctx_.metrics->global_reports++;
+  trace_instant("nwade", "global_report", now);
 }
 
 void VehicleNode::inject_false_global(Tick now) {
@@ -997,6 +1016,7 @@ void VehicleNode::inject_false_global(Tick now) {
   gr->block_seq = store_.latest() != nullptr ? store_.latest()->seq : 0;
   ctx_.network->broadcast(node_id(), std::move(gr));
   ctx_.metrics->global_reports++;
+  trace_instant("nwade", "global_report", now);
 }
 
 // --- self-evacuation ---------------------------------------------------------------------
@@ -1043,6 +1063,7 @@ void VehicleNode::enter_self_evacuation(GlobalReason reason, VehicleId suspect,
     }
     ctx_.network->broadcast(node_id(), std::move(gr));
     ctx_.metrics->global_reports++;
+    trace_instant("nwade", "global_report", now);
   }
   NWADE_LOG(kInfo) << "vehicle " << id_.value << " self-evacuating ("
                    << global_reason_name(reason) << ")";

@@ -77,6 +77,9 @@ struct VehicleContext {
   /// protocol logic of benign vehicles. Malicious vehicles use it as their
   /// collusion roster.
   const std::set<VehicleId>* malicious_ids{nullptr};
+  /// Optional telemetry (nullptr = no trace); injected by the World.
+  util::telemetry::Registry* registry{nullptr};
+  util::trace::Tracer* tracer{nullptr};
 };
 
 class VehicleNode final : public net::Node {
@@ -121,6 +124,10 @@ class VehicleNode final : public net::Node {
   const std::set<VehicleId>& self_evac_announced() const;
 
  private:
+  /// Records an instant on the detection timeline, tagged with this
+  /// vehicle's id (no-op unless tracing is active).
+  void trace_instant(const char* cat, const char* name, Tick now) const;
+
   // Message handlers.
   void handle_block(const chain::Block& block, Tick now);
   void handle_block_request(const BlockRequest& req, NodeId from);

@@ -55,7 +55,11 @@ std::string cell_row(const CellResult& r) {
   out += "\"packets_dropped\": " + num(n.packets_dropped) + ", ";
   out += "\"bytes_sent\": " + num(n.bytes_sent) + ", ";
   out += "\"legacy_spawned\": " + num(r.summary.legacy_spawned) + ", ";
-  out += "\"legacy_exited\": " + num(r.summary.legacy_exited);
+  out += "\"legacy_exited\": " + num(r.summary.legacy_exited) + ", ";
+  // The cell's full registry snapshot (integer-valued, single-threaded per
+  // cell), so the row carries every net.*/aim.*/protocol.* metric without
+  // widening the flat column set above.
+  out += "\"metrics\": " + r.summary.metrics_snapshot.json_compact();
   out += "}";
   return out;
 }
@@ -105,6 +109,7 @@ ScenarioConfig cell_scenario(const CampaignConfig& cfg,
   s.duration_ms = cfg.duration_ms;
   s.seed = cell.seed;
   s.attack = protocol::attack_setting_by_name(cell.attack);
+  if (cfg.trace) s.trace_enabled = true;
   return s;
 }
 
@@ -118,7 +123,9 @@ std::vector<CellResult> run_campaign(const CampaignConfig& cfg) {
   // cannot influence any result byte.
   return pool.map<CellResult>(cells.size(), [&cfg, &cells](std::size_t i) {
     World world(cell_scenario(cfg, cells[i]));
-    return CellResult{cells[i], world.run()};
+    CellResult result{cells[i], world.run(), {}};
+    result.trace = world.take_trace();  // empty unless the cell traced
+    return result;
   });
 }
 
@@ -203,6 +210,69 @@ std::string campaign_json(const CampaignConfig& cfg,
   // Strip the indent added after the results object's final newline.
   while (!out.empty() && out.back() == ' ') out.pop_back();
   out += "\n}\n";
+  return out;
+}
+
+std::string cell_label(const CampaignCell& cell) {
+  std::string label = intersection_name(cell.kind);
+  label += "/" + cell.attack;
+  label += "/vpm" + num(cell.vpm, 0);
+  label += "/r" + num(cell.round);
+  return label;
+}
+
+namespace {
+
+/// Streams + labels for the traced cells, indices aligned. Untraced cells
+/// (empty vectors) are skipped so a partially traced campaign still exports.
+void collect_trace_streams(const std::vector<CellResult>& results,
+                           std::vector<std::vector<util::trace::Event>>& streams,
+                           std::vector<std::string>& names) {
+  for (const CellResult& r : results) {
+    if (r.trace.empty()) continue;
+    streams.push_back(r.trace);
+    names.push_back(cell_label(r.cell));
+  }
+}
+
+}  // namespace
+
+std::string campaign_trace_json(const std::vector<CellResult>& results,
+                                bool include_wall) {
+  std::vector<std::vector<util::trace::Event>> streams;
+  std::vector<std::string> names;
+  collect_trace_streams(results, streams, names);
+  return util::trace::chrome_trace_json(streams, names, include_wall);
+}
+
+std::string campaign_trace_jsonl(const std::vector<CellResult>& results,
+                                 bool include_wall) {
+  std::vector<std::vector<util::trace::Event>> streams;
+  std::vector<std::string> names;
+  collect_trace_streams(results, streams, names);
+  return util::trace::jsonl_trace(streams, include_wall);
+}
+
+std::string campaign_metrics_json(const CampaignConfig& cfg,
+                                  const std::vector<CellResult>& results) {
+  std::string out = "{\n";
+  out += "  \"schema\": \"nwade-metrics-v1\",\n";
+  out += "  \"base_seed\": " + num(cfg.base_seed) + ",\n";
+  out += "  \"cells\": [\n";
+  util::telemetry::MetricsSnapshot merged;
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const CellResult& r = results[i];
+    out += "    {\"cell\": \"" + cell_label(r.cell) + "\", \"metrics\": " +
+           r.summary.metrics_snapshot.json_compact() + "}";
+    if (i + 1 < results.size()) out += ",";
+    out += "\n";
+    merged.merge(r.summary.metrics_snapshot);
+  }
+  out += "  ],\n";
+  // Campaign-wide fold: counters/histograms sum across cells (gauges are
+  // last-writer-wins and mostly per-run levels — read them per cell).
+  out += "  \"merged\": " + merged.json_compact() + "\n";
+  out += "}\n";
   return out;
 }
 

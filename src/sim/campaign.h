@@ -37,6 +37,10 @@ struct CampaignConfig {
   Duration duration_ms{120'000};
   /// Worker pool size; <= 1 runs every cell inline on the caller's thread.
   int threads{1};
+  /// true = every cell's World records its event trace (ScenarioConfig::
+  /// trace_enabled), collected into CellResult::trace for campaign_trace_json.
+  /// Tracing only observes, so results stay byte-identical either way.
+  bool trace{false};
   ScenarioConfig base;
 };
 
@@ -49,10 +53,12 @@ struct CampaignCell {
   std::uint64_t seed{1};
 };
 
-/// One finished cell: its coordinates plus the run's summary.
+/// One finished cell: its coordinates plus the run's summary (and, when
+/// CampaignConfig::trace is set, the cell's recorded event trace).
 struct CellResult {
   CampaignCell cell;
   RunSummary summary;
+  std::vector<util::trace::Event> trace;
 };
 
 /// Figure-ready aggregate over the rounds of one (kind, attack, density)
@@ -101,5 +107,26 @@ std::string campaign_results_json(const CampaignConfig& cfg,
 std::string campaign_json(const CampaignConfig& cfg,
                           const std::vector<CellResult>& results,
                           double wall_clock_s);
+
+/// The "process name" label one cell gets in trace exports,
+/// e.g. "cross4/V1/vpm80/r0".
+std::string cell_label(const CampaignCell& cell);
+
+/// Chrome trace_event JSON over every traced cell, one pid per cell in
+/// expansion order (ui.perfetto.dev groups events by process). Byte-identical
+/// across pool sizes when `include_wall` is false (wall_us args are the only
+/// non-deterministic trace field).
+std::string campaign_trace_json(const std::vector<CellResult>& results,
+                                bool include_wall = true);
+
+/// JSONL trace export (one event object per line, "pid" = cell index).
+std::string campaign_trace_jsonl(const std::vector<CellResult>& results,
+                                 bool include_wall = true);
+
+/// Deterministic metrics export: every cell's registry snapshot plus the
+/// merged campaign-wide snapshot (schema nwade-metrics-v1). Integer-valued
+/// only, so byte-identical across pool sizes and identical seeded runs.
+std::string campaign_metrics_json(const CampaignConfig& cfg,
+                                  const std::vector<CellResult>& results);
 
 }  // namespace nwade::sim

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 
 #include "util/log.h"
 
@@ -14,10 +15,14 @@ World::World(ScenarioConfig config)
     : config_(std::move(config)),
       intersection_(traffic::Intersection::build(config_.intersection)) {
   config_.nwade.security_enabled = config_.nwade_enabled;
+  tracer_.set_enabled(config_.trace_enabled);
+  steps_counter_ = registry_.counter("sim.steps");
 
   net::NetworkConfig net_cfg = config_.network;
   net_cfg.seed = config_.seed ^ 0x6e657477ULL;
   net_cfg.quadratic_reference = config_.quadratic_reference;
+  net_cfg.registry = &registry_;
+  net_cfg.tracer = &tracer_;
   network_ = std::make_unique<net::Network>(queue_, clock_, net_cfg);
 
   Rng rng(config_.seed);
@@ -58,6 +63,8 @@ World::World(ScenarioConfig config)
   im_ctx.signer = signer_.get();
   im_ctx.metrics = &metrics_;
   im_ctx.malicious_ids = &malicious_ids_;
+  im_ctx.registry = &registry_;
+  im_ctx.tracer = &tracer_;
   im_ = std::make_unique<protocol::ImNode>(im_ctx, config_.scheduler, im_attack);
   network_->add_node(im_.get());
   im_->start();
@@ -149,6 +156,8 @@ void World::spawn(const traffic::Arrival& arrival, VehicleId id) {
   ctx.im_verifier = signer_->verifier_with_cache(verify_cache_);
   ctx.metrics = &metrics_;
   ctx.malicious_ids = &malicious_ids_;
+  ctx.registry = &registry_;
+  ctx.tracer = &tracer_;
 
   VehicleAttackProfile profile;
   if (const auto it = attack_roles_.find(id); it != attack_roles_.end()) {
@@ -284,10 +293,31 @@ void World::step_world(Tick now) {
       std::max<Tick>(1, config_.nwade.watch_interval_ms / config_.step_ms);
   const Tick step_index = now / config_.step_ms;
 
+  // Per-phase profiling: one 'X' span per phase per step, sim-duration 0
+  // (nothing inside a step advances sim time) with the wall cost in the
+  // explicitly non-deterministic wall_us argument. Wall clocks are read only
+  // when tracing, so disabled runs pay one relaxed load per step.
+  const bool tracing = util::trace::tracing_active() && tracer_.enabled();
+  using wall_clock = std::chrono::steady_clock;
+  wall_clock::time_point t0;
+  const auto phase_begin = [&] {
+    if (tracing) t0 = wall_clock::now();
+  };
+  const auto phase_end = [&](const char* name, std::int64_t items) {
+    if (!tracing) return;
+    const double wall_us =
+        std::chrono::duration<double, std::micro>(wall_clock::now() - t0)
+            .count();
+    tracer_.complete("sim", name, now, now, wall_us, "items", items);
+  };
+
+  phase_begin();
   step_legacy(dt);
+  phase_end("phase.legacy", static_cast<std::int64_t>(legacy_.size()));
 
   // Phase 1: physics for everyone, so watchers later observe a consistent
   // time-t snapshot regardless of iteration order.
+  phase_begin();
   for (auto& [id, vehicle] : vehicles_) {
     if (vehicle->exited()) continue;
     vehicle->step(now, dt);
@@ -296,17 +326,22 @@ void World::step_world(Tick now) {
       crossing_times_.push_back(now - spawn_times_[id]);
     }
   }
+  phase_end("phase.physics", static_cast<std::int64_t>(vehicles_.size()));
+
   // Phase 2: the neighbourhood watch, staggered to avoid synchronized bursts.
+  phase_begin();
   for (auto& [id, vehicle] : vehicles_) {
     if (vehicle->exited()) continue;
     if ((step_index + static_cast<Tick>(id.value)) % watch_every == 0) {
       vehicle->watch(now);
     }
   }
+  phase_end("phase.watch", static_cast<std::int64_t>(vehicles_.size()));
 
   // Ground-truth proximity audit once per simulated second (managed and
   // legacy vehicles alike; the staging area is excluded).
   if (now % 1000 == 0) {
+    phase_begin();
     struct Probe {
       geom::Vec2 pos;
       double s;
@@ -364,14 +399,28 @@ void World::step_world(Tick now) {
       for (const Probe& p : active) audit_grid.insert(p.pos);
       audit_grid.for_each_near_pair(audit_pair);
     }
+    phase_end("phase.gap_audit", static_cast<std::int64_t>(active.size()));
   }
 }
 
 void World::run_until(Tick t) {
+  const bool tracing = util::trace::tracing_active() && tracer_.enabled();
   while (stepped_until_ < t) {
     stepped_until_ += config_.step_ms;
-    queue_.run_until(stepped_until_, clock_);
+    if (tracing) {
+      using wall_clock = std::chrono::steady_clock;
+      const auto t0 = wall_clock::now();
+      queue_.run_until(stepped_until_, clock_);
+      const double wall_us =
+          std::chrono::duration<double, std::micro>(wall_clock::now() - t0)
+              .count();
+      tracer_.complete("sim", "phase.events", stepped_until_, stepped_until_,
+                       wall_us);
+    } else {
+      queue_.run_until(stepped_until_, clock_);
+    }
     step_world(stepped_until_);
+    steps_counter_.inc();
   }
 }
 
@@ -384,6 +433,67 @@ RunSummary World::summary() const {
   RunSummary s;
   s.metrics = metrics_;
   s.net_stats = network_->stats();
+
+  // Fold the pre-existing silos into the unified registry so one snapshot
+  // carries the whole run (docs/OBSERVABILITY.md). Everything folded is an
+  // integer read from sim state; the wall-clock vectors (im_package_us,
+  // vehicle_verify_us) deliberately stay out so two identical seeded runs
+  // produce byte-identical snapshot JSON.
+  const auto gauge = [this](const char* name, std::int64_t v) {
+    registry_.gauge(name).set(v);
+  };
+  gauge("protocol.vehicles_spawned", metrics_.vehicles_spawned);
+  gauge("protocol.vehicles_exited", metrics_.vehicles_exited);
+  gauge("protocol.incident_reports", metrics_.incident_reports);
+  gauge("protocol.global_reports", metrics_.global_reports);
+  gauge("protocol.verify_rounds", metrics_.verify_rounds);
+  gauge("protocol.alarm_dismissals", metrics_.alarm_dismissals);
+  gauge("protocol.evacuation_alerts", metrics_.evacuation_alerts);
+  gauge("protocol.benign_self_evacuations", metrics_.benign_self_evacuations);
+  gauge("protocol.false_alarm_evacuations", metrics_.false_alarm_evacuations);
+  gauge("protocol.malicious_reports_recorded",
+        metrics_.malicious_reports_recorded);
+  gauge("protocol.blocks_published", metrics_.blocks_published);
+  gauge("protocol.block_verification_failures",
+        metrics_.block_verification_failures);
+  gauge("protocol.plan_request_retries", metrics_.plan_request_retries);
+  gauge("protocol.gap_block_requests", metrics_.gap_block_requests);
+  gauge("protocol.degraded_entries", metrics_.degraded_entries);
+  gauge("protocol.degraded_crossings", metrics_.degraded_crossings);
+  gauge("protocol.im_crashes", metrics_.im_crashes);
+  gauge("protocol.im_restarts", metrics_.im_restarts);
+  gauge("protocol.im_courtesy_gaps", metrics_.im_courtesy_gaps);
+  const auto event_gauge = [this](const char* name,
+                                  const std::optional<Tick>& t) {
+    if (t) registry_.gauge(name).set(*t);
+  };
+  event_gauge("protocol.event.violation_start_ms", metrics_.violation_start);
+  event_gauge("protocol.event.first_true_incident_ms",
+              metrics_.first_true_incident);
+  event_gauge("protocol.event.deviation_confirmed_ms",
+              metrics_.deviation_confirmed);
+  event_gauge("protocol.event.false_incident_injected_ms",
+              metrics_.false_incident_injected);
+  event_gauge("protocol.event.false_incident_dismissed_ms",
+              metrics_.false_incident_dismissed);
+  event_gauge("protocol.event.false_global_injected_ms",
+              metrics_.false_global_injected);
+  event_gauge("protocol.event.false_global_detected_ms",
+              metrics_.false_global_detected);
+  event_gauge("protocol.event.im_conflict_injected_ms",
+              metrics_.im_conflict_injected);
+  event_gauge("protocol.event.im_conflict_detected_ms",
+              metrics_.im_conflict_detected);
+  event_gauge("protocol.event.sham_alert_detected_ms",
+              metrics_.sham_alert_detected);
+  const crypto::SigVerifyCache::Stats cache = verify_cache_.stats();
+  gauge("crypto.sig_cache.hits", static_cast<std::int64_t>(cache.hits));
+  gauge("crypto.sig_cache.misses", static_cast<std::int64_t>(cache.misses));
+  gauge("crypto.sig_cache.insertions",
+        static_cast<std::int64_t>(cache.insertions));
+  gauge("crypto.sig_cache.evictions",
+        static_cast<std::int64_t>(cache.evictions));
+  s.metrics_snapshot = registry_.snapshot();
   const double minutes = ticks_to_seconds(stepped_until_ > 0 ? stepped_until_ : 1) / 60.0;
   s.throughput_vpm = metrics_.vehicles_exited / std::max(minutes, 1e-9);
   double total = 0;

@@ -20,6 +20,8 @@
 #include "nwade/sensor.h"
 #include "nwade/vehicle_node.h"
 #include "traffic/arrivals.h"
+#include "util/telemetry.h"
+#include "util/trace.h"
 
 namespace nwade::sim {
 
@@ -66,12 +68,22 @@ struct ScenarioConfig {
   /// SchedulerConfig::linear_reference_scan); both modes make bit-identical
   /// decisions, so full runs produce byte-identical traces.
   bool quadratic_reference{false};
+
+  /// true = the World's event tracer records the sim-time span/instant
+  /// timeline (docs/OBSERVABILITY.md) retrievable via take_trace(). Tracing
+  /// only observes — it never draws randomness or changes decisions — so
+  /// trace_golden digests are byte-identical either way.
+  bool trace_enabled{false};
 };
 
 /// Aggregated outcome of one run.
 struct RunSummary {
   protocol::Metrics metrics;
   net::NetworkStats net_stats;
+  /// Unified registry snapshot: net.* / aim.* counters plus the protocol and
+  /// SigVerifyCache silos folded in as gauges. Integer-valued only, so two
+  /// identical seeded runs produce byte-identical snapshot JSON.
+  util::telemetry::MetricsSnapshot metrics_snapshot;
   double throughput_vpm{0};      ///< vehicles exited per simulated minute
   double mean_crossing_ms{0};    ///< spawn-to-exit time of exited vehicles
   int active_at_end{0};
@@ -106,6 +118,12 @@ class World final : public protocol::SensorProvider {
   Tick now() const { return clock_.now(); }
   const protocol::ImNode& im() const { return *im_; }
   const protocol::Metrics& metrics() const { return metrics_; }
+  /// The run-scoped metrics registry every layer reports into.
+  util::telemetry::Registry& registry() { return registry_; }
+  /// The run-scoped event tracer (enabled iff ScenarioConfig::trace_enabled).
+  util::trace::Tracer& tracer() { return tracer_; }
+  /// Moves the recorded trace events out (campaigns collect per-cell traces).
+  std::vector<util::trace::Event> take_trace() { return tracer_.take(); }
   const net::Network& network() const { return *network_; }
   const traffic::Intersection& intersection() const { return intersection_; }
   protocol::VehicleNode* vehicle(VehicleId id);
@@ -136,6 +154,11 @@ class World final : public protocol::SensorProvider {
   traffic::Intersection intersection_;
   net::SimClock clock_;
   net::EventQueue queue_;
+  /// Run-scoped telemetry. Declared before network_ / im_ / vehicles_, which
+  /// hold handles into them, so destruction order stays safe. mutable:
+  /// summary() is const but folds the protocol/crypto silos into gauges.
+  mutable util::telemetry::Registry registry_;
+  util::trace::Tracer tracer_;
   std::unique_ptr<net::Network> network_;
   std::unique_ptr<crypto::Signer> signer_;
   protocol::Metrics metrics_;
@@ -148,6 +171,7 @@ class World final : public protocol::SensorProvider {
   std::vector<Duration> crossing_times_;
   int gap_violations_{0};
   Tick stepped_until_{0};
+  util::telemetry::Counter steps_counter_;
 
   /// Per-run signature-verification cache, injected into every vehicle's
   /// verifier. Campaign runs step many worlds concurrently; scoping the

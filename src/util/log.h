@@ -2,6 +2,7 @@
 // scenarios and examples turn it on for narration.
 #pragma once
 
+#include <optional>
 #include <sstream>
 #include <string>
 
@@ -27,21 +28,29 @@ bool enabled(LogLevel level);
 }  // namespace detail
 
 /// Stream-style logger: LOG(kInfo) << "vehicle " << id << " evacuating";
+///
+/// The level is checked exactly once, at construction. A disabled line never
+/// engages the stream, so it allocates nothing and each `operator<<` costs
+/// one predictable branch on a plain bool — no atomic re-reads per operand.
+/// (Snapshotting also keeps one line's operands consistent if another thread
+/// reconfigures the level mid-statement.)
 class LogLine {
  public:
-  explicit LogLine(LogLevel level) : level_(level) {}
+  explicit LogLine(LogLevel level) : level_(level) {
+    if (detail::enabled(level)) out_.emplace();
+  }
   ~LogLine() {
-    if (detail::enabled(level_)) detail::emit(level_, out_.str());
+    if (out_) detail::emit(level_, out_->str());
   }
   template <typename T>
   LogLine& operator<<(const T& v) {
-    if (detail::enabled(level_)) out_ << v;
+    if (out_) *out_ << v;
     return *this;
   }
 
  private:
   LogLevel level_;
-  std::ostringstream out_;
+  std::optional<std::ostringstream> out_;
 };
 
 #define NWADE_LOG(level) ::nwade::LogLine(::nwade::LogLevel::level)

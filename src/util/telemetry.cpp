@@ -1,0 +1,302 @@
+#include "util/telemetry.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "util/alloc_stats.h"
+
+namespace nwade::util::telemetry {
+
+namespace detail {
+
+void ShardedCell::add(std::int64_t delta) {
+  shards[this_thread_shard()].v.fetch_add(delta, std::memory_order_relaxed);
+}
+
+std::int64_t ShardedCell::sum() const {
+  std::int64_t total = 0;
+  for (const ShardCell& s : shards) {
+    total += s.v.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void ShardedCell::reset() {
+  for (ShardCell& s : shards) s.v.store(0, std::memory_order_relaxed);
+}
+
+int this_thread_shard() {
+  // Round-robin assignment at first use per thread: cheap, stable for the
+  // thread's lifetime, and spreads WorkerPool threads across cells without
+  // hashing thread ids.
+  static std::atomic<int> next{0};
+  thread_local const int shard =
+      next.fetch_add(1, std::memory_order_relaxed) % kShards;
+  return shard;
+}
+
+}  // namespace detail
+
+HistogramBuckets HistogramBuckets::exponential_ms(std::int64_t max_edge) {
+  HistogramBuckets b;
+  b.upper_edges.push_back(0);
+  for (std::int64_t edge = 1; edge <= max_edge; edge *= 2) {
+    b.upper_edges.push_back(edge);
+  }
+  return b;
+}
+
+void Histogram::observe(std::int64_t value) {
+  if (impl_ == nullptr) return;
+  // First bucket whose upper edge >= value; past the last edge -> overflow.
+  std::size_t lo = 0;
+  std::size_t hi = impl_->edges.size();
+  while (lo < hi) {
+    const std::size_t mid = (lo + hi) / 2;
+    if (impl_->edges[mid] < value) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  impl_->bucket_counts[lo].add(1);
+  impl_->count.add(1);
+  impl_->sum.add(value);
+}
+
+std::int64_t Histogram::count() const {
+  return impl_ != nullptr ? impl_->count.sum() : 0;
+}
+
+std::int64_t Histogram::sum() const {
+  return impl_ != nullptr ? impl_->sum.sum() : 0;
+}
+
+void Histogram::reset() {
+  if (impl_ == nullptr) return;
+  for (detail::ShardedCell& b : impl_->bucket_counts) b.reset();
+  impl_->count.reset();
+  impl_->sum.reset();
+}
+
+Registry& Registry::process() {
+  static Registry instance;
+  return instance;
+}
+
+Counter Registry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<detail::ShardedCell>();
+  return Counter(slot.get());
+}
+
+Gauge Registry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<std::atomic<std::int64_t>>(0);
+  return Gauge(slot.get());
+}
+
+Histogram Registry::histogram(const std::string& name,
+                              const HistogramBuckets& buckets) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<detail::HistogramImpl>();
+    slot->edges = buckets.upper_edges;
+    slot->bucket_counts =
+        std::vector<detail::ShardedCell>(buckets.upper_edges.size() + 1);
+  }
+  return Histogram(slot.get());
+}
+
+MetricsSnapshot Registry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snap;
+  for (const auto& [name, cell] : counters_) {
+    snap.counters[name] = cell->sum();
+  }
+  for (const auto& [name, cell] : gauges_) {
+    snap.gauges[name] = cell->load(std::memory_order_relaxed);
+  }
+  for (const auto& [name, impl] : histograms_) {
+    MetricsSnapshot::HistogramData h;
+    h.upper_edges = impl->edges;
+    h.bucket_counts.reserve(impl->bucket_counts.size());
+    for (const detail::ShardedCell& b : impl->bucket_counts) {
+      h.bucket_counts.push_back(b.sum());
+    }
+    h.count = impl->count.sum();
+    h.sum = impl->sum.sum();
+    snap.histograms[name] = std::move(h);
+  }
+  return snap;
+}
+
+void Registry::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, cell] : counters_) cell->reset();
+  for (auto& [name, cell] : gauges_) {
+    cell->store(0, std::memory_order_relaxed);
+  }
+  for (auto& [name, impl] : histograms_) {
+    for (detail::ShardedCell& b : impl->bucket_counts) b.reset();
+    impl->count.reset();
+    impl->sum.reset();
+  }
+}
+
+namespace {
+
+void append_escaped(std::string& out, const std::string& s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+void append_int(std::string& out, std::int64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRId64, v);
+  out += buf;
+}
+
+void append_int_array(std::string& out, const std::vector<std::int64_t>& xs) {
+  out += "[";
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    if (i) out += ", ";
+    append_int(out, xs[i]);
+  }
+  out += "]";
+}
+
+template <typename Map, typename AppendValue>
+void append_section(std::string& out, const char* title, const Map& map,
+                    const std::string& pad, AppendValue&& append_value) {
+  out += pad + "\"" + title + "\": {";
+  bool first = true;
+  for (const auto& [name, value] : map) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += pad + "  \"";
+    append_escaped(out, name);
+    out += "\": ";
+    append_value(out, value);
+  }
+  if (!first) out += "\n" + pad;
+  out += "}";
+}
+
+}  // namespace
+
+std::string MetricsSnapshot::json(const std::string& indent) const {
+  const std::string& pad = indent;
+  std::string out = "{\n";
+  append_section(out, "counters", counters, pad + "  ",
+                 [](std::string& o, std::int64_t v) { append_int(o, v); });
+  out += ",\n";
+  append_section(out, "gauges", gauges, pad + "  ",
+                 [](std::string& o, std::int64_t v) { append_int(o, v); });
+  out += ",\n";
+  append_section(out, "histograms", histograms, pad + "  ",
+                 [&pad](std::string& o, const HistogramData& h) {
+                   o += "{\"upper_edges\": ";
+                   append_int_array(o, h.upper_edges);
+                   o += ", \"bucket_counts\": ";
+                   append_int_array(o, h.bucket_counts);
+                   o += ", \"count\": ";
+                   append_int(o, h.count);
+                   o += ", \"sum\": ";
+                   append_int(o, h.sum);
+                   o += "}";
+                 });
+  out += "\n" + pad + "}";
+  return out;
+}
+
+std::string MetricsSnapshot::json_compact() const {
+  const auto append_compact_section = [](std::string& out, const char* title,
+                                         const auto& map, auto&& append_value) {
+    out += "\"" + std::string(title) + "\": {";
+    bool first = true;
+    for (const auto& [name, value] : map) {
+      if (!first) out += ", ";
+      first = false;
+      out += "\"";
+      append_escaped(out, name);
+      out += "\": ";
+      append_value(out, value);
+    }
+    out += "}";
+  };
+  std::string out = "{";
+  append_compact_section(out, "counters", counters,
+                         [](std::string& o, std::int64_t v) { append_int(o, v); });
+  out += ", ";
+  append_compact_section(out, "gauges", gauges,
+                         [](std::string& o, std::int64_t v) { append_int(o, v); });
+  out += ", ";
+  append_compact_section(out, "histograms", histograms,
+                         [](std::string& o, const HistogramData& h) {
+                           o += "{\"upper_edges\": ";
+                           append_int_array(o, h.upper_edges);
+                           o += ", \"bucket_counts\": ";
+                           append_int_array(o, h.bucket_counts);
+                           o += ", \"count\": ";
+                           append_int(o, h.count);
+                           o += ", \"sum\": ";
+                           append_int(o, h.sum);
+                           o += "}";
+                         });
+  out += "}";
+  return out;
+}
+
+void MetricsSnapshot::merge(const MetricsSnapshot& other) {
+  for (const auto& [name, v] : other.counters) counters[name] += v;
+  for (const auto& [name, v] : other.gauges) gauges[name] = v;
+  for (const auto& [name, h] : other.histograms) {
+    auto it = histograms.find(name);
+    if (it == histograms.end()) {
+      histograms[name] = h;
+      continue;
+    }
+    HistogramData& mine = it->second;
+    if (mine.upper_edges != h.upper_edges) {
+      // Incompatible shapes: keep ours, still fold the scalar totals so no
+      // observation silently disappears.
+      mine.count += h.count;
+      mine.sum += h.sum;
+      continue;
+    }
+    for (std::size_t i = 0; i < mine.bucket_counts.size() &&
+                            i < h.bucket_counts.size();
+         ++i) {
+      mine.bucket_counts[i] += h.bucket_counts[i];
+    }
+    mine.count += h.count;
+    mine.sum += h.sum;
+  }
+}
+
+void fold_alloc_stats(Registry& r) {
+  if (!alloc_counting_enabled()) return;
+  r.gauge("process.alloc.allocations")
+      .set(static_cast<std::int64_t>(process_alloc_count()));
+  r.gauge("process.alloc.frees")
+      .set(static_cast<std::int64_t>(process_free_count()));
+}
+
+}  // namespace nwade::util::telemetry

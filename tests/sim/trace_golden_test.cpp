@@ -134,5 +134,15 @@ TEST(TraceGolden, DeviationAttackCross4) {
   EXPECT_EQ(trace_digest(std::move(cfg)), "7aee66a07164ede3f6bf1b783fc7559c61fb310851d6166934911d7b4ea3587c");
 }
 
+TEST(TraceGolden, TelemetryTracingIsPurelyObservational) {
+  // The observability layer's contract: enabling the event tracer (and the
+  // always-on registry counters behind it) changes no decision anywhere, so
+  // the golden digest is the untraced one, byte for byte.
+  ScenarioConfig cfg = scenario(traffic::IntersectionKind::kCross4, 80, 1);
+  cfg.trace_enabled = true;
+  EXPECT_EQ(trace_digest(std::move(cfg)),
+            "0e83bbd0a51d8df2b9ea6241bfb16e70f3e62c285ccd24da7b3aa131a39b0e2b");
+}
+
 }  // namespace
 }  // namespace nwade::sim

@@ -1,0 +1,162 @@
+// util/telemetry coverage: handle semantics (incl. the inert default),
+// histogram bucket-edge placement, snapshot JSON shape, merge rules, and —
+// the property the whole design leans on — byte-identical snapshots no
+// matter how the increments were spread across WorkerPool threads.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bench/support.h"
+#include "util/telemetry.h"
+#include "util/worker_pool.h"
+
+namespace nwade::util::telemetry {
+namespace {
+
+TEST(Telemetry, DefaultHandlesAreInertNoOps) {
+  Counter c;
+  Gauge g;
+  Histogram h;
+  EXPECT_FALSE(c.valid());
+  EXPECT_FALSE(g.valid());
+  EXPECT_FALSE(h.valid());
+  c.inc();          // must not crash
+  g.set(7);
+  g.max_of(9);
+  h.observe(3);
+  EXPECT_EQ(c.value(), 0);
+  EXPECT_EQ(g.value(), 0);
+  EXPECT_EQ(h.count(), 0);
+}
+
+TEST(Telemetry, CounterAccumulatesAndResets) {
+  Registry r;
+  Counter c = r.counter("t.counter");
+  c.inc();
+  c.inc(41);
+  EXPECT_EQ(c.value(), 42);
+  // Same name -> same cell.
+  EXPECT_EQ(r.counter("t.counter").value(), 42);
+  c.reset();
+  EXPECT_EQ(c.value(), 0);
+}
+
+TEST(Telemetry, GaugeIsLastWriterWinsAndMaxOfRatchets) {
+  Registry r;
+  Gauge g = r.gauge("t.gauge");
+  g.set(10);
+  g.set(3);
+  EXPECT_EQ(g.value(), 3);
+  g.max_of(2);
+  EXPECT_EQ(g.value(), 3);
+  g.max_of(8);
+  EXPECT_EQ(g.value(), 8);
+}
+
+TEST(Telemetry, ExponentialEdgesDoubleFromZero) {
+  const HistogramBuckets b = HistogramBuckets::exponential_ms(8);
+  EXPECT_EQ(b.upper_edges, (std::vector<std::int64_t>{0, 1, 2, 4, 8}));
+}
+
+TEST(Telemetry, HistogramPlacesObservationsOnBucketEdges) {
+  Registry r;
+  Histogram h = r.histogram("t.hist", HistogramBuckets::exponential_ms(8));
+  // Edges 0,1,2,4,8 (+overflow). A value lands in the first bucket whose
+  // upper edge is >= value; above the last edge it lands in overflow.
+  h.observe(0);   // bucket 0 (edge 0)
+  h.observe(1);   // bucket 1 (edge 1)
+  h.observe(2);   // bucket 2 (edge 2)
+  h.observe(3);   // bucket 3 (edge 4)
+  h.observe(4);   // bucket 3 (edge 4)
+  h.observe(5);   // bucket 4 (edge 8)
+  h.observe(8);   // bucket 4 (edge 8)
+  h.observe(9);   // overflow
+  h.observe(1000);  // overflow
+  EXPECT_EQ(h.count(), 9);
+  EXPECT_EQ(h.sum(), 0 + 1 + 2 + 3 + 4 + 5 + 8 + 9 + 1000);
+  const MetricsSnapshot snap = r.snapshot();
+  const auto& data = snap.histograms.at("t.hist");
+  EXPECT_EQ(data.bucket_counts,
+            (std::vector<std::int64_t>{1, 1, 1, 2, 2, 2}));
+  EXPECT_EQ(data.count, 9);
+}
+
+TEST(Telemetry, SnapshotJsonIsWellFormedAndSorted) {
+  Registry r;
+  r.counter("b.second").inc(2);
+  r.counter("a.first").inc(1);
+  r.gauge("z.gauge").set(-5);
+  r.histogram("h.lat", HistogramBuckets::exponential_ms(4)).observe(3);
+  const MetricsSnapshot snap = r.snapshot();
+  const std::string pretty = snap.json();
+  const std::string compact = snap.json_compact();
+  EXPECT_TRUE(bench::json_well_formed(pretty)) << pretty;
+  EXPECT_TRUE(bench::json_well_formed(compact)) << compact;
+  // Sorted keys: "a.first" renders before "b.second".
+  EXPECT_LT(compact.find("a.first"), compact.find("b.second"));
+  EXPECT_NE(compact.find("\"z.gauge\": -5"), std::string::npos) << compact;
+  // One line only.
+  EXPECT_EQ(compact.find('\n'), std::string::npos);
+}
+
+TEST(Telemetry, MergeAddsCountersAndHistogramsGaugesLastWin) {
+  Registry a;
+  a.counter("c").inc(3);
+  a.gauge("g").set(1);
+  a.histogram("h", HistogramBuckets::exponential_ms(4)).observe(2);
+  Registry b;
+  b.counter("c").inc(4);
+  b.counter("only_b").inc(1);
+  b.gauge("g").set(9);
+  b.histogram("h", HistogramBuckets::exponential_ms(4)).observe(2);
+
+  MetricsSnapshot merged = a.snapshot();
+  merged.merge(b.snapshot());
+  EXPECT_EQ(merged.counters.at("c"), 7);
+  EXPECT_EQ(merged.counters.at("only_b"), 1);
+  EXPECT_EQ(merged.gauges.at("g"), 9);
+  EXPECT_EQ(merged.histograms.at("h").count, 2);
+  EXPECT_EQ(merged.histograms.at("h").sum, 4);
+}
+
+TEST(Telemetry, SnapshotIsByteIdenticalAcrossPoolSizes) {
+  // The determinism contract: integer metrics + commutative shard merge =>
+  // the snapshot is a pure function of the increments, not of which thread
+  // performed them. Chaos-labeled so the TSan tree vets the sharded cells.
+  const auto run = [](int threads) {
+    Registry r;
+    Counter c = r.counter("work.items");
+    Histogram h =
+        r.histogram("work.cost_ms", HistogramBuckets::exponential_ms(64));
+    WorkerPool pool(threads);
+    pool.for_each(10'000, [&](std::size_t i) {
+      c.inc();
+      h.observe(static_cast<std::int64_t>(i % 100));
+    });
+    return r.snapshot().json();
+  };
+  const std::string inline_run = run(1);
+  EXPECT_EQ(inline_run, run(4));
+  EXPECT_EQ(inline_run, run(8));
+}
+
+TEST(Telemetry, RegistryResetZeroesValuesButKeepsHandles) {
+  Registry r;
+  Counter c = r.counter("c");
+  Gauge g = r.gauge("g");
+  Histogram h = r.histogram("h", HistogramBuckets::exponential_ms(4));
+  c.inc(5);
+  g.set(5);
+  h.observe(1);
+  r.reset();
+  EXPECT_EQ(c.value(), 0);
+  EXPECT_EQ(g.value(), 0);
+  EXPECT_EQ(h.count(), 0);
+  c.inc();  // handle still wired to the same cell
+  EXPECT_EQ(r.counter("c").value(), 1);
+}
+
+}  // namespace
+}  // namespace nwade::util::telemetry
