@@ -1,0 +1,170 @@
+// Checkpoint overhead driver (docs/CHECKPOINT.md).
+//
+// Answers the question a soak operator actually has: what does snapshotting
+// cost, absolutely (ms per save/restore, bytes per snapshot at increasing
+// world population) and relatively (wall-clock overhead of a run that
+// snapshots every 10 simulated seconds versus one that never does)?
+//
+// Before any timing, it gates the subsystem's contract: save -> restore ->
+// save must be byte-identical at every measured point.
+//
+// Emits BENCH_checkpoint.json in the nwade-bench-v1 envelope (support.h).
+// `--smoke` shrinks every dimension and validates the JSON round-trip.
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/checkpoint.h"
+#include "sim/world.h"
+#include "support.h"
+
+namespace {
+
+using namespace nwade;
+
+struct Options {
+  bool smoke{false};
+};
+
+sim::ScenarioConfig scenario(double vpm, Duration duration_ms) {
+  sim::ScenarioConfig s;
+  s.vehicles_per_minute = vpm;
+  s.duration_ms = duration_ms;
+  s.seed = 1;
+  return s;
+}
+
+int run(const Options& opt) {
+  const auto t_start = std::chrono::steady_clock::now();
+  const int warmup = opt.smoke ? 0 : 1;
+  const int reps = opt.smoke ? 2 : 9;
+  const Duration duration = opt.smoke ? 20'000 : 120'000;
+  // Snapshot points at 1/4, 1/2 and 3/4 of the run: population (and thus
+  // envelope size) grows over a run, so one midpoint would understate the
+  // late-run cost a long soak actually pays.
+  const std::vector<double> points = {0.25, 0.5, 0.75};
+
+  std::vector<std::string> phases;
+  std::vector<std::string> extra;
+
+  for (const double at : points) {
+    sim::World world(scenario(80, duration));
+    const Tick t = static_cast<Tick>(static_cast<double>(duration) * at);
+    world.run_until((t / 100) * 100);
+
+    // Contract gate before timing anything at this point.
+    const Bytes blob = world.checkpoint_save();
+    {
+      std::string error;
+      const auto restored = sim::World::checkpoint_restore(blob, &error);
+      if (restored == nullptr || restored->checkpoint_save() != blob) {
+        std::fprintf(stderr,
+                     "FAIL: save/restore/save not byte-identical at t=%lld"
+                     " (%s)\n",
+                     static_cast<long long>(world.now()), error.c_str());
+        return 1;
+      }
+    }
+
+    const std::string label = "t" + std::to_string(world.now() / 1000) + "s";
+    const auto save_stats = bench::timed_median(warmup, reps, [&] {
+      const Bytes b = world.checkpoint_save();
+      if (b.empty()) std::abort();
+    });
+    std::printf("save    @%s: %.3f ms median, %zu bytes\n", label.c_str(),
+                save_stats.median_ms, blob.size());
+    phases.push_back(bench::json_phase("save_" + label, save_stats));
+
+    const auto restore_stats = bench::timed_median(warmup, reps, [&] {
+      const auto w = sim::World::checkpoint_restore(blob);
+      if (w == nullptr) std::abort();
+    });
+    std::printf("restore @%s: %.3f ms median\n", label.c_str(),
+                restore_stats.median_ms);
+    phases.push_back(bench::json_phase("restore_" + label, restore_stats));
+    extra.push_back(bench::json_field("snapshot_bytes_" + label,
+                                      static_cast<double>(blob.size()), 0));
+  }
+
+  // Whole-run relative overhead: plain run vs the soak cadence (a snapshot
+  // every 10 simulated seconds, verified restorable is NOT included — that
+  // probe is the soak driver's paranoia, not the checkpoint's price).
+  const Duration every = 10'000;
+  const auto plain_stats = bench::timed_median(warmup, reps, [&] {
+    sim::World world(scenario(80, duration));
+    world.run();
+  });
+  std::printf("run %llds plain: %.2f ms median\n",
+              static_cast<long long>(duration / 1000), plain_stats.median_ms);
+  phases.push_back(bench::json_phase("run_plain", plain_stats));
+
+  const auto snapshotted_stats = bench::timed_median(warmup, reps, [&] {
+    sim::World world(scenario(80, duration));
+    while (world.now() < duration) {
+      world.run_until(std::min<Tick>(world.now() + every, duration));
+      if (world.now() < duration) {
+        const Bytes b = world.checkpoint_save();
+        if (b.empty()) std::abort();
+      }
+    }
+  });
+  std::printf("run %llds + snapshot/10s: %.2f ms median\n",
+              static_cast<long long>(duration / 1000),
+              snapshotted_stats.median_ms);
+  phases.push_back(bench::json_phase("run_snapshot_10s", snapshotted_stats));
+
+  const double overhead =
+      plain_stats.median_ms > 0
+          ? snapshotted_stats.median_ms / plain_stats.median_ms
+          : 0;
+  phases.push_back(bench::json_speedup("snapshot_10s_vs_plain", overhead));
+  std::printf("snapshot-every-10s overhead: %.3fx of plain run\n", overhead);
+
+  extra.push_back(bench::json_field("snapshot_interval_ms",
+                                    static_cast<double>(every), 0));
+  extra.push_back(bench::json_field("run_duration_ms",
+                                    static_cast<double>(duration), 0));
+
+  const double wall_s = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - t_start)
+                            .count();
+  const std::string envelope =
+      bench::bench_envelope("checkpoint", wall_s, phases, extra);
+  if (!bench::json_well_formed(envelope)) {
+    std::fprintf(stderr, "FAIL: emitted envelope is not well-formed JSON\n");
+    return 1;
+  }
+  const std::string path =
+      opt.smoke ? "BENCH_checkpoint.smoke.json" : "BENCH_checkpoint.json";
+  if (!bench::write_bench_file(path, envelope)) {
+    std::fprintf(stderr, "FAIL: could not write %s\n", path.c_str());
+    return 1;
+  }
+
+  if (opt.smoke) {
+    std::string back;
+    if (!bench::read_file(path, back) || back != envelope ||
+        !bench::json_well_formed(back)) {
+      std::fprintf(stderr, "FAIL: %s did not round-trip\n", path.c_str());
+      return 1;
+    }
+    std::printf("smoke OK: round-trip contract holds and envelope emits\n");
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      opt.smoke = true;
+    } else {
+      std::fprintf(stderr, "usage: %s [--smoke]\n", argv[0]);
+      return 2;
+    }
+  }
+  return run(opt);
+}

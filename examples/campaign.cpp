@@ -13,6 +13,7 @@
 //
 //   ./build/examples/campaign --kinds cross4 --attacks benign,V1
 //       --vpm 60,120 --rounds 2 --threads 4   (one line)
+#include <cerrno>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -113,6 +114,11 @@ void usage(const char* argv0) {
       "  --paper-matrix                       all kinds x table1 attacks\n"
       "  --out PATH                           report JSON (default campaign.json)\n"
       "  --results-out PATH                   deterministic results-only JSON\n"
+      "  --resume PATH                        progress journal (nwade-campaign-\n"
+      "                                       progress-v1): finished cells are\n"
+      "                                       journaled as they complete, and a\n"
+      "                                       rerun of the same matrix resumes\n"
+      "                                       from them byte-identically\n"
       "  --trace                              record per-cell event traces\n"
       "  --trace-out PATH                     Chrome trace_event JSON (implies\n"
       "                                       --trace; load in ui.perfetto.dev)\n"
@@ -132,6 +138,7 @@ int main(int argc, char** argv) {
   std::string trace_path;
   std::string trace_jsonl_path;
   std::string metrics_path;
+  std::string resume_path;
 
   auto value = [&](int& i) -> const char* {
     if (i + 1 >= argc) {
@@ -174,6 +181,8 @@ int main(int argc, char** argv) {
       out_path = value(i);
     } else if (arg == "--results-out") {
       results_path = value(i);
+    } else if (arg == "--resume") {
+      resume_path = value(i);
     } else if (arg == "--trace") {
       cfg.trace = true;
     } else if (arg == "--trace-out") {
@@ -197,6 +206,35 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "--rounds and --duration-ms must be positive\n");
     return 2;
   }
+  if (!resume_path.empty() && cfg.trace) {
+    std::fprintf(stderr,
+                 "--resume cannot be combined with tracing: event traces are "
+                 "not journaled,\nso a resumed traced campaign would be "
+                 "missing the completed cells' traces\n");
+    return 2;
+  }
+
+  // Preflight every output path BEFORE the campaign runs: a typo'd directory
+  // or read-only target should fail in milliseconds, not after hours of
+  // simulation. Append mode probes writability without clobbering whatever
+  // the file currently holds; a path the probe had to create is removed
+  // again so a failed later stage leaves no empty stub behind.
+  for (const std::string* path :
+       {&out_path, &results_path, &trace_path, &trace_jsonl_path,
+        &metrics_path, &resume_path}) {
+    if (path->empty()) continue;
+    std::FILE* probe_existing = std::fopen(path->c_str(), "rb");
+    const bool existed = probe_existing != nullptr;
+    if (probe_existing) std::fclose(probe_existing);
+    std::FILE* probe = std::fopen(path->c_str(), "ab");
+    if (!probe) {
+      std::fprintf(stderr, "cannot write output path %s: %s\n", path->c_str(),
+                   std::strerror(errno));
+      return 1;
+    }
+    std::fclose(probe);
+    if (!existed) std::remove(path->c_str());
+  }
 
   const std::size_t cell_count = sim::expand_cells(cfg).size();
   std::printf("campaign: %zu cells (%zu kinds x %zu attacks x %zu densities x "
@@ -206,7 +244,9 @@ int main(int argc, char** argv) {
               static_cast<long long>(cfg.duration_ms));
 
   const auto t0 = std::chrono::steady_clock::now();
-  const std::vector<sim::CellResult> results = sim::run_campaign(cfg);
+  const std::vector<sim::CellResult> results =
+      resume_path.empty() ? sim::run_campaign(cfg)
+                          : sim::run_campaign_resumable(cfg, resume_path);
   const double wall_s = std::chrono::duration<double>(
                             std::chrono::steady_clock::now() - t0)
                             .count();

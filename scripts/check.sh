@@ -1,0 +1,55 @@
+#!/usr/bin/env bash
+# Full verification sweep: the default tree runs every suite (unit, chaos,
+# perf smokes, obs, the soak SIGKILL smoke, campaign CLI); the sanitizer
+# trees rebuild the whole stack instrumented and run their intended payload
+# — the chaos label (fault injection, corrupt-wire fuzzing, threaded
+# campaign fan-out; see docs/FAULT_MODEL.md and docs/CHECKPOINT.md).
+#
+#   scripts/check.sh              # default + ASan + TSan
+#   scripts/check.sh default      # just the default tree
+#   scripts/check.sh asan tsan    # just the sanitizer trees
+#
+# Build dirs: build/ (default), build-asan/, build-tsan/. Existing dirs are
+# reused (incremental); delete one to force a clean configure.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="$(nproc 2>/dev/null || echo 2)"
+
+stages=("$@")
+if [[ ${#stages[@]} -eq 0 ]]; then
+  stages=(default asan tsan)
+fi
+
+run_tree() { # dir cmake-extra-args... -- ctest-args...
+  local dir="$1"; shift
+  local cmake_args=()
+  while [[ $# -gt 0 && "$1" != "--" ]]; do cmake_args+=("$1"); shift; done
+  shift # the --
+  cmake -B "$dir" -DCMAKE_BUILD_TYPE=Release "${cmake_args[@]}"
+  cmake --build "$dir" -j "$JOBS"
+  ctest --test-dir "$dir" --output-on-failure "$@"
+}
+
+for stage in "${stages[@]}"; do
+  case "$stage" in
+    default)
+      echo "=== default tree: full suite ==="
+      run_tree build --
+      ;;
+    asan)
+      echo "=== ASan tree: chaos suite ==="
+      run_tree build-asan -DSANITIZE=address -- -L chaos
+      ;;
+    tsan)
+      echo "=== TSan tree: chaos suite ==="
+      run_tree build-tsan -DSANITIZE=thread -- -L chaos
+      ;;
+    *)
+      echo "unknown stage '$stage' (want: default asan tsan)" >&2
+      exit 2
+      ;;
+  esac
+done
+
+echo "check.sh: all requested stages passed"

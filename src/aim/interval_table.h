@@ -19,6 +19,7 @@
 #include <optional>
 #include <vector>
 
+#include "util/bytes.h"
 #include "util/types.h"
 
 namespace nwade::aim {
@@ -53,6 +54,12 @@ class IntervalTable {
   std::size_t size() const { return intervals_.size(); }
   bool empty() const { return intervals_.empty(); }
   const std::vector<Interval>& intervals() const { return intervals_; }
+
+  /// Serializes the interval list in stored (begin-sorted, insertion-stable)
+  /// order; restore reproduces the exact vector and rebuilds the prefix
+  /// maximum. Returns false on malformed input.
+  void checkpoint_save(ByteWriter& w) const;
+  bool checkpoint_restore(ByteReader& r);
 
  private:
   /// Recomputes prefix_max_end_[from..] after a mutation.

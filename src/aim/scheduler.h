@@ -120,6 +120,13 @@ class ReservationScheduler final : public Scheduler {
   /// Number of live zone reservations (for tests/metrics).
   std::size_t reservation_count() const;
 
+  /// Serializes every reservation table and the per-route commit watermark.
+  /// Restore expects a scheduler freshly built from the identical
+  /// intersection (same table counts); returns false otherwise or on
+  /// malformed input.
+  void checkpoint_save(ByteWriter& w) const;
+  bool checkpoint_restore(ByteReader& r);
+
  private:
   using Interval = IntervalTable::Interval;
 

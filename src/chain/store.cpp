@@ -47,6 +47,25 @@ const Block* BlockStore::by_seq(BlockSeq seq) const {
   return nullptr;
 }
 
+void BlockStore::checkpoint_save(ByteWriter& w) const {
+  w.u64(max_depth_);
+  w.u32(static_cast<std::uint32_t>(blocks_.size()));
+  for (const Block& b : blocks_) w.bytes(b.serialize());
+}
+
+bool BlockStore::checkpoint_restore(ByteReader& r) {
+  max_depth_ = static_cast<std::size_t>(r.u64());
+  const std::uint32_t n = r.u32();
+  if (!r.ok() || n > r.remaining()) return false;  // each block is >= 1 byte
+  blocks_.clear();
+  for (std::uint32_t i = 0; i < n; ++i) {
+    std::optional<Block> b = Block::deserialize(r.bytes());
+    if (!r.ok() || !b) return false;
+    blocks_.push_back(std::move(*b));
+  }
+  return true;
+}
+
 const aim::TravelPlan* BlockStore::find_plan(VehicleId id) const {
   for (auto it = blocks_.rbegin(); it != blocks_.rend(); ++it) {
     if (const aim::TravelPlan* p = it->plan_for(id)) return p;

@@ -64,6 +64,17 @@ class BlockStore {
   /// evacuation/recovery plans supersede older ones).
   const aim::TravelPlan* find_plan(VehicleId id) const;
 
+  // --- checkpoint/restore (sim/checkpoint) ----------------------------------
+
+  /// Serializes the depth bound and every cached block (Block::serialize).
+  void checkpoint_save(ByteWriter& w) const;
+
+  /// Restores a saved store. Appends are *unchecked*: the blocks were
+  /// validated before the checkpoint, and re-verifying here would perturb
+  /// the signature-verify cache's hit/miss counters on resume. Returns false
+  /// on malformed input (the store may then be partially filled).
+  bool checkpoint_restore(ByteReader& r);
+
  private:
   std::size_t max_depth_;
   std::deque<Block> blocks_;

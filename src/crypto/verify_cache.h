@@ -43,6 +43,7 @@
 #include <unordered_map>
 
 #include "crypto/sha256.h"
+#include "util/bytes.h"
 
 namespace nwade::crypto {
 
@@ -94,6 +95,13 @@ class SigVerifyCache {
 
   Stats stats() const;
   void reset_stats();
+
+  /// Serializes capacity, counters, and every shard's entries in FIFO order,
+  /// so a resumed run replays the same hits, misses, and evictions. Restore
+  /// overwrites the cache in place; returns false on malformed input.
+  /// Not safe concurrently with lookups/stores.
+  void checkpoint_save(ByteWriter& w) const;
+  bool checkpoint_restore(ByteReader& r);
 
  private:
   struct DigestHash {

@@ -32,10 +32,39 @@ class EventQueue {
  public:
   using Callback = std::function<void()>;
 
-  /// Schedules `fn` at absolute time `when` (>= now).
-  void schedule_at(Tick when, Callback fn) {
-    events_.push(Event{when, seq_++, std::move(fn)});
+  /// Schedules `fn` at absolute time `when` (>= now). Returns the sequence
+  /// number assigned to the event — same-tick events fire in sequence order,
+  /// so the pair (when, seq) pins an event's exact position in the run.
+  std::uint64_t schedule_at(Tick when, Callback fn) {
+    const std::uint64_t seq = seq_++;
+    events_.push(Event{when, seq, std::move(fn)});
+    return seq;
   }
+
+  // --- checkpoint/restore hooks (sim/checkpoint) ----------------------------
+  //
+  // A checkpoint cannot serialize closures, so each owner (Network, ImNode)
+  // records its own pending events' (when, seq) pairs and re-schedules fresh
+  // closures at exactly those coordinates on restore. The three hooks below
+  // exist only for that protocol; simulation code must use schedule_at.
+
+  /// Re-inserts an event at an exact historical (when, seq) position without
+  /// consuming a new sequence number. The caller guarantees `seq` was
+  /// assigned to a still-pending event before the checkpoint.
+  void schedule_at_seq(Tick when, std::uint64_t seq, Callback fn) {
+    events_.push(Event{when, seq, std::move(fn)});
+  }
+
+  /// Consumes and returns the next sequence number without scheduling
+  /// anything. Resume-mode construction "burns" the numbers of events that
+  /// had already fired before the checkpoint so later allocations line up.
+  std::uint64_t skip_seq() { return seq_++; }
+
+  /// Next sequence number that schedule_at would assign.
+  std::uint64_t next_seq() const { return seq_; }
+
+  /// Forces the allocation counter — the final step of a queue restore.
+  void set_next_seq(std::uint64_t seq) { seq_ = seq; }
 
   bool empty() const { return events_.empty(); }
   std::size_t size() const { return events_.size(); }

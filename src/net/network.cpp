@@ -49,13 +49,18 @@ Network::KindHandles& Network::kind_handles(const std::string& kind) {
 
 void Network::add_node(Node* node) {
   assert(node != nullptr);
-  nodes_[node->node_id()] = node;
+  const NodeId id = node->node_id();
+  nodes_[id] = node;
+  const auto it = std::lower_bound(sorted_ids_.begin(), sorted_ids_.end(), id);
+  if (it == sorted_ids_.end() || *it != id) sorted_ids_.insert(it, id);
   ++membership_epoch_;
   nodes_gauge_.set(static_cast<std::int64_t>(nodes_.size()));
 }
 
 void Network::remove_node(NodeId id) {
   nodes_.erase(id);
+  const auto it = std::lower_bound(sorted_ids_.begin(), sorted_ids_.end(), id);
+  if (it != sorted_ids_.end() && *it == id) sorted_ids_.erase(it);
   ++membership_epoch_;
   nodes_gauge_.set(static_cast<std::int64_t>(nodes_.size()));
 }
@@ -101,30 +106,44 @@ bool Network::packet_lost(const Envelope& env) {
 
 void Network::schedule_delivery(Envelope env, Tick arrival,
                                 util::telemetry::Histogram latency_ms) {
-  queue_.schedule_at(arrival, [this, env = std::move(env), latency_ms]() mutable {
-    // The receiver may have left the intersection (deregistered) in flight.
-    const auto it = nodes_.find(env.to);
-    if (it == nodes_.end()) return;
-    if (config_.fault.node_down(env.to, clock_.now())) {
-      lost_outage_.inc();
-      count_drop(env);
-      if (tracer_ != nullptr && util::trace::tracing_active()) {
-        tracer_->instant("net", "outage_loss", clock_.now(), "node",
-                         static_cast<std::int64_t>(env.to.value));
-      }
-      return;
+  // The envelope is parked in pending_ rather than captured in the closure so
+  // a checkpoint can serialize every in-flight copy; the closure carries only
+  // the delivery id.
+  const std::uint64_t id = next_delivery_id_++;
+  const std::uint64_t seq =
+      queue_.schedule_at(arrival, [this, id] { deliver_pending(id); });
+  pending_.emplace(id, Pending{seq, arrival, std::move(env), latency_ms});
+}
+
+void Network::deliver_pending(std::uint64_t id) {
+  const auto pit = pending_.find(id);
+  if (pit == pending_.end()) return;
+  const Envelope env = std::move(pit->second.env);
+  util::telemetry::Histogram latency_ms = pit->second.latency_ms;
+  pending_.erase(pit);
+
+  // The receiver may have left the intersection (deregistered) in flight.
+  const auto it = nodes_.find(env.to);
+  if (it == nodes_.end()) return;
+  if (config_.fault.node_down(env.to, clock_.now())) {
+    lost_outage_.inc();
+    count_drop(env);
+    if (tracer_ != nullptr && util::trace::tracing_active()) {
+      tracer_->instant("net", "outage_loss", clock_.now(), "node",
+                       static_cast<std::int64_t>(env.to.value));
     }
-    // Jitter lets a receiver drift out of range while the packet is in
-    // flight; range is therefore re-checked against the emission origin at
-    // delivery time, not only at send time.
-    if (it->second->position().distance_to(env.origin) > config_.comm_radius_m) {
-      out_of_range_.inc();
-      return;
-    }
-    delivered_.inc();
-    latency_ms.observe(clock_.now() - env.sent_at);
-    it->second->on_message(env);
-  });
+    return;
+  }
+  // Jitter lets a receiver drift out of range while the packet is in
+  // flight; range is therefore re-checked against the emission origin at
+  // delivery time, not only at send time.
+  if (it->second->position().distance_to(env.origin) > config_.comm_radius_m) {
+    out_of_range_.inc();
+    return;
+  }
+  delivered_.inc();
+  latency_ms.observe(clock_.now() - env.sent_at);
+  it->second->on_message(env);
 }
 
 void Network::deliver_later(Envelope env) {
@@ -195,8 +214,8 @@ void Network::rebuild_grid() {
   grid_ids_.clear();
   grid_.reserve(nodes_.size());
   grid_ids_.reserve(nodes_.size());
-  for (const auto& [id, node] : nodes_) {
-    grid_.insert(node->position());
+  for (const NodeId id : sorted_ids_) {
+    grid_.insert(nodes_.find(id)->second->position());
     grid_ids_.push_back(id);
   }
   grid_built_at_ = clock_.now();
@@ -205,12 +224,13 @@ void Network::rebuild_grid() {
 
 void Network::collect_receivers(NodeId from, geom::Vec2 origin,
                                 std::vector<NodeId>& out) {
-  // Delivery order MUST stay byte-identical to the original scan: envelopes
-  // enqueue (and the loss model draws randomness) in this order, so any
-  // reordering reassigns which packet copies the channel eats and perturbs
-  // every seeded lossy run. That is why the grid is used as a candidate
-  // pre-filter inside the reference iteration order rather than as the
-  // iteration itself.
+  // Receivers enumerate in ascending id order — a pure function of current
+  // membership, so a checkpoint-restored network (whose hash table was
+  // rebuilt with a different insert/erase history) reproduces the exact
+  // enumeration, and with it which packet copies the loss model eats and
+  // every envelope's queue seq. The grid is used as a candidate pre-filter
+  // inside that canonical order rather than as the iteration itself, so
+  // indexed and quadratic stepping stay byte-identical.
   bool indexed = !config_.quadratic_reference;
   if (indexed) {
     if (grid_built_at_ != clock_.now() || grid_epoch_ != membership_epoch_) {
@@ -232,7 +252,7 @@ void Network::collect_receivers(NodeId from, geom::Vec2 origin,
     }
   }
   out.clear();
-  for (const auto& [id, node] : nodes_) {
+  for (const NodeId id : sorted_ids_) {
     if (id == from) continue;
     // Superset contract: a node the padded grid query misses moved at most
     // kGridSlackM since the snapshot, so its live position is certainly out
@@ -241,7 +261,8 @@ void Network::collect_receivers(NodeId from, geom::Vec2 origin,
       out_of_range_.inc();  // same accounting as unicast
       continue;
     }
-    if (node->position().distance_to(origin) > config_.comm_radius_m) {
+    if (nodes_.find(id)->second->position().distance_to(origin) >
+        config_.comm_radius_m) {
       out_of_range_.inc();  // same accounting as unicast
       continue;
     }
@@ -295,6 +316,76 @@ void Network::reset_stats() {
     h.latency_ms.reset();
   }
   stats_view_ = NetworkStats{};
+}
+
+void Network::checkpoint_save(ByteWriter& w, const MessageEncoder& encode) const {
+  const Rng::State rng = rng_.state();
+  for (const std::uint64_t s : rng.s) w.u64(s);
+  w.u64(rng.seed);
+  w.u8(ge_bad_ ? 1 : 0);
+
+  // Kinds seen so far, sorted: stats() only reports kinds present in
+  // kind_handles_, so a resumed network must re-create the exact handle set
+  // even for kinds with no packet currently in flight.
+  std::vector<std::string> kinds;
+  kinds.reserve(kind_handles_.size());
+  for (const auto& [kind, h] : kind_handles_) kinds.push_back(kind);
+  std::sort(kinds.begin(), kinds.end());
+  w.u32(static_cast<std::uint32_t>(kinds.size()));
+  for (const std::string& kind : kinds) w.str(kind);
+
+  w.u32(static_cast<std::uint32_t>(pending_.size()));
+  for (const auto& [id, p] : pending_) {  // ascending id == scheduling order
+    w.u64(p.queue_seq);
+    w.i64(p.arrival);
+    w.u64(p.env.from.value);
+    w.u64(p.env.to.value);
+    w.u8(p.env.broadcast ? 1 : 0);
+    w.i64(p.env.sent_at);
+    w.f64(p.env.origin.x);
+    w.f64(p.env.origin.y);
+    encode(w, *p.env.msg);
+  }
+}
+
+bool Network::checkpoint_restore(ByteReader& r, const MessageDecoder& decode) {
+  Rng::State rng;
+  for (std::uint64_t& s : rng.s) s = r.u64();
+  rng.seed = r.u64();
+  rng_.set_state(rng);
+  ge_bad_ = r.u8() != 0;
+
+  const std::uint32_t n_kinds = r.u32();
+  if (n_kinds > r.remaining()) return false;  // >= 1 byte per entry
+  for (std::uint32_t i = 0; i < n_kinds; ++i) {
+    const std::string kind = r.str();
+    if (!r.ok()) return false;
+    kind_handles(kind);
+  }
+
+  const std::uint32_t n_pending = r.u32();
+  if (n_pending > r.remaining()) return false;
+  for (std::uint32_t i = 0; i < n_pending; ++i) {
+    Pending p;
+    p.queue_seq = r.u64();
+    p.arrival = r.i64();
+    Envelope env;
+    env.from = NodeId{r.u64()};
+    env.to = NodeId{r.u64()};
+    env.broadcast = r.u8() != 0;
+    env.sent_at = r.i64();
+    env.origin.x = r.f64();
+    env.origin.y = r.f64();
+    env.msg = decode(r);
+    if (!r.ok() || env.msg == nullptr) return false;
+    p.latency_ms = kind_handles(env.msg->kind()).latency_ms;
+    p.env = std::move(env);
+    const std::uint64_t id = next_delivery_id_++;
+    queue_.schedule_at_seq(p.arrival, p.queue_seq,
+                           [this, id] { deliver_pending(id); });
+    pending_.emplace(id, std::move(p));
+  }
+  return r.ok();
 }
 
 void Network::broadcast(NodeId from, MessagePtr msg) {

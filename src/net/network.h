@@ -9,11 +9,15 @@
 // outages — all off by default.
 #pragma once
 
+#include <functional>
+#include <map>
 #include <memory>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
+
+#include "util/bytes.h"
 
 #include "geom/spatial_hash.h"
 #include "geom/vec2.h"
@@ -131,6 +135,28 @@ class Network {
 
   const NetworkConfig& config() const { return config_; }
 
+  // --- checkpoint/restore (sim/checkpoint) ----------------------------------
+  //
+  // The network layer cannot name protocol message types, so the caller
+  // supplies the codec: `encode` writes one message (kind + payload),
+  // `decode` reads one back or returns nullptr on malformed input.
+  using MessageEncoder = std::function<void(ByteWriter&, const Message&)>;
+  using MessageDecoder = std::function<MessagePtr(ByteReader&)>;
+
+  /// Serializes the channel state a resumed run needs to stay bit-exact:
+  /// the RNG position, the Gilbert–Elliott state, the set of message kinds
+  /// already seen (stats() shape), and every in-flight delivery with its
+  /// exact event-queue (when, seq) coordinates.
+  void checkpoint_save(ByteWriter& w, const MessageEncoder& encode) const;
+
+  /// Restores onto a freshly constructed network with the same config.
+  /// Re-schedules each saved delivery at its original queue position via
+  /// EventQueue::schedule_at_seq. Returns false on malformed input.
+  bool checkpoint_restore(ByteReader& r, const MessageDecoder& decode);
+
+  /// Number of in-flight deliveries (tests/diagnostics).
+  std::size_t pending_deliveries() const { return pending_.size(); }
+
  private:
   /// Cached per-kind counter handles; looked up once per kind, then every
   /// packet copy of that kind is a few relaxed fetch_adds.
@@ -143,7 +169,20 @@ class Network {
   };
   KindHandles& kind_handles(const std::string& kind);
 
+  /// One in-flight packet copy, parked here (not in the event closure) so a
+  /// checkpoint can serialize it. Keyed by a network-local delivery id whose
+  /// ascending order matches event-queue sequence order.
+  struct Pending {
+    std::uint64_t queue_seq{0};
+    Tick arrival{0};
+    Envelope env;
+    util::telemetry::Histogram latency_ms;
+  };
+
   void deliver_later(Envelope env);
+  /// Runs the delivery parked under `id` (outage check, live range check,
+  /// receiver callback) and retires the entry.
+  void deliver_pending(std::uint64_t id);
   bool in_range(NodeId a, NodeId b) const;
   /// One loss decision for a packet copy: uniform loss, then the
   /// Gilbert–Elliott chain (advanced one step per copy), then link rules.
@@ -166,6 +205,13 @@ class Network {
   NetworkConfig config_;
   Rng rng_;
   std::unordered_map<NodeId, Node*> nodes_;
+  /// Current membership in ascending id order. Broadcast receivers are
+  /// enumerated through this vector, NOT through nodes_: unordered_map
+  /// iteration order is a function of the table's insert/erase/rehash
+  /// history, which a checkpoint-restored network cannot replay — and under
+  /// a lossy channel the enumeration order decides which receiver copies the
+  /// per-packet loss draws eat, so it must be a pure function of membership.
+  std::vector<NodeId> sorted_ids_;
 
   /// Private registry used when the config injects none (standalone nets in
   /// tests/benches). Must precede the handles below.
@@ -182,6 +228,10 @@ class Network {
   util::telemetry::Gauge nodes_gauge_;
   std::unordered_map<std::string, KindHandles> kind_handles_;
   mutable NetworkStats stats_view_;
+
+  /// In-flight deliveries, ascending delivery id == scheduling order.
+  std::map<std::uint64_t, Pending> pending_;
+  std::uint64_t next_delivery_id_{0};
 
   bool ge_bad_{false};  ///< Gilbert–Elliott channel state
 

@@ -37,6 +37,13 @@ struct NwadeConfig {
   /// Margin used when vehicles check plans in blocks for conflicts. Must not
   /// exceed the scheduler margin or honest plans would look conflicting.
   Duration plan_check_margin_ms{500};
+  /// Deviation measured against a plan issued less than this long ago is
+  /// delivery noise, not attack evidence: the block carrying the plan may
+  /// still be in flight — or lost and awaiting retransmission/gap recovery —
+  /// so the vehicle cannot yet be following it. Watchers skip such plans and
+  /// the IM dismisses reports against them. Sized to cover one processing
+  /// window plus a block re-request round trip.
+  Duration plan_grace_ms{1500};
   /// Threat radius used for evacuation planning.
   double threat_radius_m{25.0};
   /// How often vehicles run the neighbourhood-watch scan.

@@ -62,10 +62,12 @@ void ImNode::trace_round_end(const VerificationRound& round, Tick now) const {
 
 void ImNode::start() {
   const Duration delta = ctx_.config->processing_window_ms;
-  ctx_.queue->schedule_at(ctx_.clock->now() + delta, [this] {
+  const Tick when = ctx_.clock->now() + delta;
+  const std::uint64_t seq = ctx_.queue->schedule_at(when, [this] {
     process_window();
     start();  // re-arm the next window
   });
+  window_event_ = PendingEvent{seq, when};
 }
 
 void ImNode::crash(Tick now) {
@@ -507,6 +509,21 @@ void ImNode::handle_incident_report(const IncidentReport& report, Tick now) {
       obs->status.position.norm() <= ctx_.config->im_perception_radius_m) {
     const auto plan_it = active_plans_.find(suspect);
     if (plan_it != active_plans_.end()) {
+      // Deviation from an evacuation profile or from a freshly issued plan
+      // is delivery noise, not evidence: the block carrying the plan may
+      // still be in flight (or lost and awaiting gap recovery), so the
+      // suspect cannot yet be following it. A stopped suspect is likewise no
+      // longer a trajectory threat — the same criterion
+      // check_evacuation_progress uses to declare a threat cleared. Without
+      // this gate a lossy channel turns one genuine evacuation into a
+      // cascade: vehicles mid-maneuver (or stranded on pre-evacuation plans)
+      // get reported, confirmed, and evacuate yet more vehicles.
+      if (plan_it->second.evacuation ||
+          now - plan_it->second.issued_at < ctx_.config->plan_grace_ms ||
+          obs->status.speed_mps < 0.5) {
+        dismiss_alarm(suspect, {report.reporter}, now);
+        return;
+      }
       const auto& route = ctx_.intersection->route(plan_it->second.route_id);
       const double dev =
           (obs->status.position - plan_it->second.expected_status(route, now).position)
@@ -550,8 +567,12 @@ void ImNode::start_verification(VehicleId suspect, VehicleId reporter, Tick now)
     round_by_suspect_.erase(suspect);
     return;
   }
-  ctx_.queue->schedule_at(now + ctx_.config->verification_round_ms,
-                          [this, id] { tally_round(id); });
+  {
+    const Tick when = now + ctx_.config->verification_round_ms;
+    const std::uint64_t seq =
+        ctx_.queue->schedule_at(when, [this, id] { tally_round(id); });
+    pending_tallies_[id] = PendingEvent{seq, when};
+  }
 }
 
 int ImNode::ask_group(VerificationRound& round, Tick now) {
@@ -597,6 +618,7 @@ void ImNode::handle_verify_response(const VerifyResponse& resp) {
 }
 
 void ImNode::tally_round(std::uint64_t round_id) {
+  pending_tallies_.erase(round_id);  // this deadline has now fired
   const auto it = rounds_.find(round_id);
   if (it == rounds_.end()) return;
   VerificationRound& round = it->second;
@@ -635,8 +657,10 @@ void ImNode::tally_round(std::uint64_t round_id) {
     }
     ctx_.metrics->verify_rounds++;
     const std::uint64_t id = round.id;
-    ctx_.queue->schedule_at(now + ctx_.config->verification_round_ms,
-                            [this, id] { tally_round(id); });
+    const Tick when = now + ctx_.config->verification_round_ms;
+    const std::uint64_t seq =
+        ctx_.queue->schedule_at(when, [this, id] { tally_round(id); });
+    pending_tallies_[id] = PendingEvent{seq, when};
     return;
   }
 
@@ -763,6 +787,226 @@ void ImNode::finish_evacuation(Tick now) {
   publish_block(std::move(plans), /*count_timing=*/true);
   evacuation_suspect_ = VehicleId{};
   set_state(ImState::kStandby);
+}
+
+namespace {
+
+void save_id_set(ByteWriter& w, const std::set<VehicleId>& ids) {
+  w.u32(static_cast<std::uint32_t>(ids.size()));
+  for (const VehicleId id : ids) w.u64(id.value);
+}
+
+bool load_id_set(ByteReader& r, std::set<VehicleId>& ids) {
+  ids.clear();
+  const std::uint32_t n = r.u32();
+  if (!r.ok() || n > r.remaining() / 8) return false;
+  for (std::uint32_t i = 0; i < n; ++i) ids.insert(VehicleId{r.u64()});
+  return r.ok();
+}
+
+void save_tick_map(ByteWriter& w, const std::map<VehicleId, Tick>& m) {
+  w.u32(static_cast<std::uint32_t>(m.size()));
+  for (const auto& [id, t] : m) {
+    w.u64(id.value);
+    w.i64(t);
+  }
+}
+
+bool load_tick_map(ByteReader& r, std::map<VehicleId, Tick>& m) {
+  m.clear();
+  const std::uint32_t n = r.u32();
+  if (!r.ok() || n > r.remaining() / 16) return false;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const VehicleId id{r.u64()};
+    m[id] = r.i64();
+  }
+  return r.ok();
+}
+
+bool load_digest(ByteReader& r, crypto::Digest& d) {
+  const Bytes b = r.bytes();
+  if (!r.ok() || b.size() != d.size()) return false;
+  std::copy(b.begin(), b.end(), d.begin());
+  return true;
+}
+
+}  // namespace
+
+void ImNode::checkpoint_save(ByteWriter& w) const {
+  w.u8(static_cast<std::uint8_t>(state_));
+  w.u32(static_cast<std::uint32_t>(pending_requests_.size()));
+  for (const PlanRequest& req : pending_requests_) {
+    w.u64(req.vehicle.value);
+    w.i64(req.route_id);
+    req.traits.serialize(w);
+    req.status.serialize(w);
+  }
+  w.u32(static_cast<std::uint32_t>(active_plans_.size()));
+  for (const auto& [id, plan] : active_plans_) {
+    w.u64(id.value);
+    w.bytes(plan.serialize());
+  }
+  w.bytes(prev_hash_);
+  w.u64(seq_);
+  w.u32(static_cast<std::uint32_t>(recent_blocks_.size()));
+  for (const chain::Block& b : recent_blocks_) w.bytes(b.serialize());
+
+  w.u32(static_cast<std::uint32_t>(rounds_.size()));
+  for (const auto& [id, round] : rounds_) {
+    w.u64(id);
+    w.u64(round.suspect.value);
+    save_id_set(w, round.reporters);
+    w.i64(round.phase);
+    w.i64(round.started_at);
+    save_id_set(w, round.asked_ever);
+    w.u32(static_cast<std::uint32_t>(round.votes.size()));
+    for (const auto& [voter, abnormal] : round.votes) {
+      w.u64(voter.value);
+      w.u8(abnormal ? 1 : 0);
+    }
+  }
+  w.u64(next_round_id_);
+  w.u32(static_cast<std::uint32_t>(reporter_strikes_.size()));
+  for (const auto& [id, strikes] : reporter_strikes_) {
+    w.u64(id.value);
+    w.i64(strikes);
+  }
+  save_id_set(w, unmanaged_ids_);
+  save_tick_map(w, parked_since_);
+  save_tick_map(w, courtesy_retry_at_);
+  w.i64(courtesy_until_);
+  save_id_set(w, ever_planned_);
+  w.u8(down_ ? 1 : 0);
+  w.u64(evacuation_suspect_.value);
+  w.i64(suspect_stopped_checks_);
+  save_id_set(w, confirmed_suspects_);
+  w.u8(conflict_injected_ ? 1 : 0);
+  w.u8(sham_alert_sent_ ? 1 : 0);
+
+  scheduler_.checkpoint_save(w);
+
+  w.u8(window_event_.has_value() ? 1 : 0);
+  if (window_event_.has_value()) {
+    w.u64(window_event_->seq);
+    w.i64(window_event_->when);
+  }
+  w.u32(static_cast<std::uint32_t>(pending_tallies_.size()));
+  for (const auto& [id, ev] : pending_tallies_) {
+    w.u64(id);
+    w.u64(ev.seq);
+    w.i64(ev.when);
+  }
+}
+
+bool ImNode::checkpoint_restore(ByteReader& r) {
+  state_ = static_cast<ImState>(r.u8());
+  const std::uint32_t n_requests = r.u32();
+  if (!r.ok() || n_requests > r.remaining() / 16) return false;
+  pending_requests_.clear();
+  for (std::uint32_t i = 0; i < n_requests; ++i) {
+    PlanRequest req;
+    req.vehicle = VehicleId{r.u64()};
+    req.route_id = static_cast<int>(r.i64());
+    req.traits = traffic::VehicleTraits::deserialize(r);
+    req.status = traffic::VehicleStatus::deserialize(r);
+    pending_requests_.push_back(std::move(req));
+  }
+  const std::uint32_t n_plans = r.u32();
+  if (!r.ok() || n_plans > r.remaining() / 8) return false;
+  active_plans_.clear();
+  for (std::uint32_t i = 0; i < n_plans; ++i) {
+    const VehicleId id{r.u64()};
+    std::optional<aim::TravelPlan> plan = aim::TravelPlan::deserialize(r.bytes());
+    if (!plan) return false;
+    active_plans_.emplace(id, std::move(*plan));
+  }
+  if (!load_digest(r, prev_hash_)) return false;
+  seq_ = r.u64();
+  const std::uint32_t n_blocks = r.u32();
+  if (!r.ok() || n_blocks > r.remaining()) return false;
+  recent_blocks_.clear();
+  for (std::uint32_t i = 0; i < n_blocks; ++i) {
+    std::optional<chain::Block> b = chain::Block::deserialize(r.bytes());
+    if (!b) return false;
+    recent_blocks_.push_back(std::move(*b));
+  }
+
+  const std::uint32_t n_rounds = r.u32();
+  if (!r.ok() || n_rounds > r.remaining() / 16) return false;
+  rounds_.clear();
+  round_by_suspect_.clear();
+  for (std::uint32_t i = 0; i < n_rounds; ++i) {
+    VerificationRound round;
+    round.id = r.u64();
+    round.suspect = VehicleId{r.u64()};
+    if (!load_id_set(r, round.reporters)) return false;
+    round.phase = static_cast<int>(r.i64());
+    round.started_at = r.i64();
+    if (!load_id_set(r, round.asked_ever)) return false;
+    const std::uint32_t n_votes = r.u32();
+    if (!r.ok() || n_votes > r.remaining() / 9) return false;
+    for (std::uint32_t v = 0; v < n_votes; ++v) {
+      const VehicleId voter{r.u64()};
+      round.votes[voter] = r.u8() != 0;
+    }
+    round_by_suspect_[round.suspect] = round.id;
+    rounds_.emplace(round.id, std::move(round));
+  }
+  next_round_id_ = r.u64();
+  const std::uint32_t n_strikes = r.u32();
+  if (!r.ok() || n_strikes > r.remaining() / 16) return false;
+  reporter_strikes_.clear();
+  for (std::uint32_t i = 0; i < n_strikes; ++i) {
+    const VehicleId id{r.u64()};
+    reporter_strikes_[id] = static_cast<int>(r.i64());
+  }
+  if (!load_id_set(r, unmanaged_ids_)) return false;
+  if (!load_tick_map(r, parked_since_)) return false;
+  if (!load_tick_map(r, courtesy_retry_at_)) return false;
+  courtesy_until_ = r.i64();
+  if (!load_id_set(r, ever_planned_)) return false;
+  down_ = r.u8() != 0;
+  evacuation_suspect_ = VehicleId{r.u64()};
+  suspect_stopped_checks_ = static_cast<int>(r.i64());
+  if (!load_id_set(r, confirmed_suspects_)) return false;
+  conflict_injected_ = r.u8() != 0;
+  sham_alert_sent_ = r.u8() != 0;
+
+  if (!scheduler_.checkpoint_restore(r)) return false;
+
+  window_event_.reset();
+  if (r.u8() != 0) {
+    PendingEvent ev;
+    ev.seq = r.u64();
+    ev.when = r.i64();
+    window_event_ = ev;
+  }
+  pending_tallies_.clear();
+  const std::uint32_t n_tallies = r.u32();
+  if (!r.ok() || n_tallies > r.remaining() / 24) return false;
+  for (std::uint32_t i = 0; i < n_tallies; ++i) {
+    const std::uint64_t id = r.u64();
+    PendingEvent ev;
+    ev.seq = r.u64();
+    ev.when = r.i64();
+    pending_tallies_.emplace(id, ev);
+  }
+  if (!r.ok()) return false;
+
+  // Re-arm the pending timers at their exact historical queue coordinates.
+  if (window_event_.has_value()) {
+    ctx_.queue->schedule_at_seq(window_event_->when, window_event_->seq,
+                                [this] {
+                                  process_window();
+                                  start();  // re-arm the next window
+                                });
+  }
+  for (const auto& [id, ev] : pending_tallies_) {
+    const std::uint64_t round_id = id;
+    ctx_.queue->schedule_at_seq(ev.when, ev.seq,
+                                [this, round_id] { tally_round(round_id); });
+  }
+  return true;
 }
 
 }  // namespace nwade::protocol

@@ -17,6 +17,7 @@
 
 #include <deque>
 #include <map>
+#include <optional>
 #include <set>
 
 #include "aim/scheduler.h"
@@ -111,6 +112,22 @@ class ImNode final : public net::Node {
   chain::BlockSeq next_seq() const { return seq_; }
   bool is_malicious() const { return attack_.mode != ImAttackMode::kNone; }
   const aim::ReservationScheduler& scheduler() const { return scheduler_; }
+  /// Number of verification rounds currently awaiting a tally deadline.
+  /// Lets tests place checkpoints *inside* a verify round.
+  std::size_t active_verification_rounds() const { return rounds_.size(); }
+
+  // --- checkpoint/restore (sim/checkpoint) ----------------------------------
+  /// Serializes the full automaton: FSM state, plan tables, the durable
+  /// block log, every verification round with its pending tally deadline,
+  /// strike/blacklist tables, courtesy-gap timers, the scheduler's
+  /// reservation tables, and the pending window event's exact event-queue
+  /// coordinates.
+  void checkpoint_save(ByteWriter& w) const;
+  /// Restores onto a node constructed in resume mode (start() not called;
+  /// its sequence number burned by the caller). Re-schedules the window
+  /// event and each round's tally deadline at their original (when, seq)
+  /// positions. Returns false on malformed input.
+  bool checkpoint_restore(ByteReader& r);
 
  private:
   struct VerificationRound {
@@ -167,6 +184,14 @@ class ImNode final : public net::Node {
   /// Closes a verification round's trace span [started_at, now].
   void trace_round_end(const VerificationRound& round, Tick now) const;
 
+  /// Pending event-queue coordinates for a timer this node owns. Closures
+  /// cannot be serialized, so each scheduling site records (when, seq) here
+  /// and checkpoint_restore re-creates the closure at the same coordinates.
+  struct PendingEvent {
+    std::uint64_t seq{0};
+    Tick when{0};
+  };
+
   ImContext ctx_;
   aim::ReservationScheduler scheduler_;
   ImAttackProfile attack_;
@@ -201,6 +226,11 @@ class ImNode final : public net::Node {
   std::set<VehicleId> confirmed_suspects_;
   bool conflict_injected_{false};
   bool sham_alert_sent_{false};
+
+  /// The one pending window event (start() keeps exactly one armed).
+  std::optional<PendingEvent> window_event_;
+  /// Pending tally deadlines by round id.
+  std::map<std::uint64_t, PendingEvent> pending_tallies_;
 
   /// Registry handles (inert no-ops when ctx_.registry is null).
   util::telemetry::Counter windows_counter_;

@@ -421,8 +421,16 @@ void VehicleNode::watch(Tick now) {
     if (self_evac_announced().contains(obs.id)) continue;
 
     // Legacy vehicles have no plan to violate; their chain entries are the
-    // IM's virtual predictions, not commitments.
-    if (const aim::TravelPlan* p = lookup_plan(obs.id); p && p->unmanaged) continue;
+    // IM's virtual predictions, not commitments. Evacuation profiles are not
+    // enforceable either (on-board collision avoidance governs during the
+    // emergency maneuver), and neither is a plan issued moments ago: its
+    // block may still be in flight — or lost and awaiting gap recovery — so
+    // the neighbour cannot be expected to follow it yet.
+    if (const aim::TravelPlan* p = lookup_plan(obs.id);
+        p && (p->unmanaged || p->evacuation ||
+              now - p->issued_at < ctx_.config->plan_grace_ms)) {
+      continue;
+    }
 
     const auto dev = deviation_of(obs, now);
     if (!dev) {
@@ -1067,6 +1075,172 @@ void VehicleNode::enter_self_evacuation(GlobalReason reason, VehicleId suspect,
   }
   NWADE_LOG(kInfo) << "vehicle " << id_.value << " self-evacuating ("
                    << global_reason_name(reason) << ")";
+}
+
+// --- checkpoint/restore ------------------------------------------------------
+
+namespace {
+
+void save_id_set(ByteWriter& w, const std::set<VehicleId>& ids) {
+  w.u32(static_cast<std::uint32_t>(ids.size()));
+  for (const VehicleId id : ids) w.u64(id.value);
+}
+
+bool load_id_set(ByteReader& r, std::set<VehicleId>& out) {
+  out.clear();
+  const std::uint32_t n = r.u32();
+  if (!r.ok() || n > r.remaining() / 8) return false;
+  for (std::uint32_t i = 0; i < n; ++i) out.insert(VehicleId{r.u64()});
+  return r.ok();
+}
+
+void save_tick_map(ByteWriter& w, const std::map<VehicleId, Tick>& m) {
+  w.u32(static_cast<std::uint32_t>(m.size()));
+  for (const auto& [id, t] : m) {
+    w.u64(id.value);
+    w.i64(t);
+  }
+}
+
+bool load_tick_map(ByteReader& r, std::map<VehicleId, Tick>& out) {
+  out.clear();
+  const std::uint32_t n = r.u32();
+  if (!r.ok() || n > r.remaining() / 16) return false;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const VehicleId id{r.u64()};
+    out[id] = r.i64();
+  }
+  return r.ok();
+}
+
+bool load_plan(ByteReader& r, std::optional<aim::TravelPlan>& out) {
+  const Bytes raw = r.bytes();
+  if (!r.ok()) return false;
+  out = aim::TravelPlan::deserialize(raw);
+  return out.has_value();
+}
+
+}  // namespace
+
+void VehicleNode::checkpoint_save(ByteWriter& w) const {
+  w.u8(static_cast<std::uint8_t>(state_));
+  w.f64(s_);
+  w.f64(v_);
+  w.f64(lateral_offset_);
+  store_.checkpoint_save(w);
+  w.u8(plan_.has_value() ? 1 : 0);
+  if (plan_) w.bytes(plan_->serialize());
+  w.u32(static_cast<std::uint32_t>(extra_plans_.size()));
+  for (const auto& [id, plan] : extra_plans_) {
+    w.u64(id.value);
+    w.bytes(plan.serialize());
+  }
+  save_tick_map(w, reported_suspects_);
+  save_tick_map(w, block_requests_inflight_);
+  save_tick_map(w, dismissed_suspects_);
+  save_id_set(w, self_evac_announced_);
+  w.u32(static_cast<std::uint32_t>(pending_conflict_claims_.size()));
+  for (const chain::BlockSeq seq : pending_conflict_claims_) w.u64(seq);
+  save_id_set(w, denounced_reporters_);
+  w.u32(static_cast<std::uint32_t>(global_reporters_per_suspect_.size()));
+  for (const auto& [suspect, reporters] : global_reporters_per_suspect_) {
+    w.u64(suspect.value);
+    save_id_set(w, reporters);
+  }
+  save_id_set(w, im_distrust_reporters_);
+  w.u8(sham_check_suspect_.has_value() ? 1 : 0);
+  w.u64(sham_check_suspect_ ? sham_check_suspect_->value : 0);
+  w.i64(sham_check_after_);
+  save_id_set(w, confirmed_threats_);
+  w.i64(awaiting_deadline_);
+  w.u64(awaiting_suspect_.value);
+  w.i64(awaiting_retries_);
+  w.i64(plan_retries_);
+  w.i64(next_plan_request_at_);
+  w.i64(last_block_seen_at_);
+  w.u8(degraded_committed_ ? 1 : 0);
+  w.i64(next_clear_check_at_);
+  w.f64(shoulder_side_);
+  w.u32(static_cast<std::uint32_t>(answered_verify_rounds_.size()));
+  for (const std::uint64_t round : answered_verify_rounds_) w.u64(round);
+  w.i64(last_beacon_at_);
+  w.u8(static_cast<std::uint8_t>(last_evac_reason_));
+  w.u64(last_evac_suspect_.value);
+  w.u8(attack_fired_ ? 1 : 0);
+  w.u8(global_report_sent_ ? 1 : 0);
+  w.i64(sensed_neighbours_);
+}
+
+bool VehicleNode::checkpoint_restore(ByteReader& r) {
+  const std::uint8_t state = r.u8();
+  if (!r.ok() || state > static_cast<std::uint8_t>(VehicleState::kExited)) {
+    return false;
+  }
+  state_ = static_cast<VehicleState>(state);
+  s_ = r.f64();
+  v_ = r.f64();
+  lateral_offset_ = r.f64();
+  if (!store_.checkpoint_restore(r)) return false;
+  plan_.reset();
+  if (r.u8() != 0 && !load_plan(r, plan_)) return false;
+  extra_plans_.clear();
+  const std::uint32_t n_extra = r.u32();
+  if (!r.ok() || n_extra > r.remaining() / 9) return false;
+  for (std::uint32_t i = 0; i < n_extra; ++i) {
+    const VehicleId id{r.u64()};
+    std::optional<aim::TravelPlan> plan;
+    if (!load_plan(r, plan)) return false;
+    extra_plans_.emplace(id, std::move(*plan));
+  }
+  if (!load_tick_map(r, reported_suspects_)) return false;
+  if (!load_tick_map(r, block_requests_inflight_)) return false;
+  if (!load_tick_map(r, dismissed_suspects_)) return false;
+  if (!load_id_set(r, self_evac_announced_)) return false;
+  pending_conflict_claims_.clear();
+  const std::uint32_t n_claims = r.u32();
+  if (!r.ok() || n_claims > r.remaining() / 8) return false;
+  for (std::uint32_t i = 0; i < n_claims; ++i) {
+    pending_conflict_claims_.insert(r.u64());
+  }
+  if (!load_id_set(r, denounced_reporters_)) return false;
+  global_reporters_per_suspect_.clear();
+  const std::uint32_t n_suspects = r.u32();
+  if (!r.ok() || n_suspects > r.remaining() / 12) return false;
+  for (std::uint32_t i = 0; i < n_suspects; ++i) {
+    const VehicleId suspect{r.u64()};
+    if (!load_id_set(r, global_reporters_per_suspect_[suspect])) return false;
+  }
+  if (!load_id_set(r, im_distrust_reporters_)) return false;
+  const bool has_sham = r.u8() != 0;
+  const VehicleId sham{r.u64()};
+  sham_check_suspect_ =
+      has_sham ? std::optional<VehicleId>(sham) : std::nullopt;
+  sham_check_after_ = r.i64();
+  if (!load_id_set(r, confirmed_threats_)) return false;
+  awaiting_deadline_ = r.i64();
+  awaiting_suspect_ = VehicleId{r.u64()};
+  awaiting_retries_ = static_cast<int>(r.i64());
+  plan_retries_ = static_cast<int>(r.i64());
+  next_plan_request_at_ = r.i64();
+  last_block_seen_at_ = r.i64();
+  degraded_committed_ = r.u8() != 0;
+  next_clear_check_at_ = r.i64();
+  shoulder_side_ = r.f64();
+  answered_verify_rounds_.clear();
+  const std::uint32_t n_rounds = r.u32();
+  if (!r.ok() || n_rounds > r.remaining() / 8) return false;
+  for (std::uint32_t i = 0; i < n_rounds; ++i) {
+    answered_verify_rounds_.insert(r.u64());
+  }
+  last_beacon_at_ = r.i64();
+  const std::uint8_t reason = r.u8();
+  if (!r.ok() || reason > 3) return false;
+  last_evac_reason_ = static_cast<GlobalReason>(reason);
+  last_evac_suspect_ = VehicleId{r.u64()};
+  attack_fired_ = r.u8() != 0;
+  global_report_sent_ = r.u8() != 0;
+  sensed_neighbours_ = static_cast<int>(r.i64());
+  return r.ok();
 }
 
 }  // namespace nwade::protocol

@@ -122,6 +122,20 @@ class VehicleNode final : public net::Node {
   /// Vehicles that announced self-evacuation via global reports (watchers
   /// skip them: their deviation is declared, not an attack).
   const std::set<VehicleId>& self_evac_announced() const;
+  Tick spawn_time() const { return spawn_time_; }
+  const VehicleAttackProfile& attack_profile() const { return attack_; }
+
+  // --- checkpoint/restore (sim/checkpoint) -----------------------------------
+  /// Serializes all dynamic state: automaton state, kinematics, the block
+  /// store, plan caches, suspect/cooldown tables, retransmission timers and
+  /// attack latches. Constructor arguments (id, route, traits, spawn time,
+  /// attack profile) are NOT included — the world records those alongside so
+  /// it can reconstruct the node before restoring onto it.
+  void checkpoint_save(ByteWriter& w) const;
+  /// Restores onto a freshly constructed node; start() must not be called on
+  /// a restored vehicle (its spawn already happened before the checkpoint).
+  /// Returns false on malformed input.
+  bool checkpoint_restore(ByteReader& r);
 
  private:
   /// Records an instant on the detection timeline, tagged with this

@@ -1,9 +1,14 @@
 #include "sim/campaign.h"
 
 #include <cstdio>
+#include <mutex>
 #include <thread>
+#include <unordered_map>
 
+#include "crypto/sha256.h"
 #include "nwade/config.h"
+#include "sim/checkpoint.h"
+#include "util/crc32.h"
 #include "util/worker_pool.h"
 
 namespace nwade::sim {
@@ -127,6 +132,150 @@ std::vector<CellResult> run_campaign(const CampaignConfig& cfg) {
     result.trace = world.take_trace();  // empty unless the cell traced
     return result;
   });
+}
+
+namespace {
+
+constexpr std::string_view kProgressSchema = "nwade-campaign-progress-v1";
+
+/// One record of the progress journal: `bytes(payload)` (u32 length prefix)
+/// followed by `u32 crc32(payload)`. The payload is the cell's expansion
+/// index plus the full RunSummary wire form. The length prefix lets the
+/// loader frame a record before trusting it; the CRC catches both a record
+/// half-written at the moment of a crash and bit rot in a journal that sat
+/// on disk between sessions.
+void append_progress_record(ByteWriter& w, std::size_t cell_index,
+                            const RunSummary& summary) {
+  ByteWriter payload;
+  payload.u64(static_cast<std::uint64_t>(cell_index));
+  checkpoint::save_run_summary(payload, summary);
+  w.bytes(payload.data());
+  w.u32(util::crc32(payload.data()));
+}
+
+/// Parses a journal blob. Returns the summaries of every valid record keyed
+/// by cell index (first record wins on duplicates) — or nothing at all when
+/// the header's schema or fingerprint does not match. Records after the
+/// first corrupt/truncated one are discarded: a torn tail means everything
+/// beyond it is of unknown provenance.
+std::unordered_map<std::size_t, RunSummary> load_progress(
+    std::span<const std::uint8_t> blob, std::string_view fingerprint) {
+  std::unordered_map<std::size_t, RunSummary> out;
+  ByteReader r(blob);
+  if (r.str() != kProgressSchema) return out;
+  if (r.str() != fingerprint || !r.ok()) return out;
+  while (r.ok() && !r.at_end()) {
+    const std::uint32_t len = r.u32();
+    const std::span<const std::uint8_t> payload = r.view(len);
+    const std::uint32_t crc = r.u32();
+    if (!r.ok() || util::crc32(payload) != crc) break;
+    ByteReader rec(payload);
+    const std::size_t index = static_cast<std::size_t>(rec.u64());
+    RunSummary summary;
+    if (!checkpoint::load_run_summary(rec, summary) || !rec.at_end()) break;
+    out.emplace(index, std::move(summary));
+  }
+  return out;
+}
+
+/// Reads a whole file; empty on any error (missing file reads as an empty
+/// journal, which load_progress then rejects on the schema check).
+Bytes read_file_bytes(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (!f) return {};
+  Bytes out;
+  std::uint8_t buf[4096];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    out.insert(out.end(), buf, buf + n);
+  }
+  std::fclose(f);
+  return out;
+}
+
+}  // namespace
+
+std::string campaign_fingerprint(const CampaignConfig& cfg) {
+  ByteWriter w;
+  w.str(kProgressSchema);
+  w.u32(static_cast<std::uint32_t>(cfg.kinds.size()));
+  for (const traffic::IntersectionKind kind : cfg.kinds) {
+    w.u8(static_cast<std::uint8_t>(kind));
+  }
+  w.u32(static_cast<std::uint32_t>(cfg.attacks.size()));
+  for (const std::string& attack : cfg.attacks) w.str(attack);
+  w.u32(static_cast<std::uint32_t>(cfg.densities_vpm.size()));
+  for (const double vpm : cfg.densities_vpm) w.f64(vpm);
+  w.i64(cfg.rounds);
+  w.u64(cfg.base_seed);
+  w.i64(cfg.duration_ms);
+  // The full base scenario rides along: a progress log recorded under one
+  // fault profile or scheduler must not be spliced into a campaign run under
+  // another. `threads` and `trace` are deliberately absent — neither can
+  // influence a result byte, so a journal survives a thread-count change.
+  checkpoint::save_scenario_config(w, cfg.base);
+  return to_hex(crypto::sha256(w.data()));
+}
+
+std::vector<CellResult> run_campaign_resumable(const CampaignConfig& cfg,
+                                               const std::string& progress_path) {
+  // Event traces are not journaled (they dwarf the summaries and exist for
+  // interactive inspection, not aggregation), so a traced campaign cannot be
+  // resumed faithfully — run it plain instead of resuming without traces.
+  if (cfg.trace) return run_campaign(cfg);
+
+  const std::vector<CampaignCell> cells = expand_cells(cfg);
+  const std::string fingerprint = campaign_fingerprint(cfg);
+
+  std::unordered_map<std::size_t, RunSummary> done =
+      load_progress(read_file_bytes(progress_path), fingerprint);
+  // Indices past the matrix (a journal from a larger campaign cannot share
+  // our fingerprint, but a corrupt index could still frame a valid record).
+  std::erase_if(done, [&cells](const auto& kv) {
+    return kv.first >= cells.size();
+  });
+
+  // Compact: rewrite header + every valid loaded record, so a journal whose
+  // tail was torn by the last crash starts this session clean. The handle
+  // stays open for the per-cell appends below.
+  std::FILE* journal = std::fopen(progress_path.c_str(), "wb");
+  if (!journal) return run_campaign(cfg);
+  {
+    ByteWriter w;
+    w.str(kProgressSchema);
+    w.str(fingerprint);
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      const auto it = done.find(i);
+      if (it != done.end()) append_progress_record(w, i, it->second);
+    }
+    std::fwrite(w.data().data(), 1, w.data().size(), journal);
+    std::fflush(journal);
+  }
+
+  util::WorkerPool pool(cfg.threads);
+  std::mutex journal_mutex;
+  std::vector<CellResult> results = pool.map<CellResult>(
+      cells.size(),
+      [&cfg, &cells, &done, journal, &journal_mutex](std::size_t i) {
+        if (const auto it = done.find(i); it != done.end()) {
+          return CellResult{cells[i], it->second, {}};
+        }
+        World world(cell_scenario(cfg, cells[i]));
+        CellResult result{cells[i], world.run(), {}};
+        ByteWriter w;
+        append_progress_record(w, i, result.summary);
+        {
+          // Append + flush before the result is considered done: a crash
+          // after the flush resumes past this cell, a crash during the
+          // write leaves a torn record the loader's CRC discards.
+          const std::lock_guard<std::mutex> lock(journal_mutex);
+          std::fwrite(w.data().data(), 1, w.data().size(), journal);
+          std::fflush(journal);
+        }
+        return result;
+      });
+  std::fclose(journal);
+  return results;
 }
 
 std::vector<CellAggregate> aggregate(const CampaignConfig& cfg,

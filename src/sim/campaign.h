@@ -91,6 +91,28 @@ ScenarioConfig cell_scenario(const CampaignConfig& cfg,
 /// returns the results in expansion order (fixed-order merge).
 std::vector<CellResult> run_campaign(const CampaignConfig& cfg);
 
+/// SHA-256 (hex) of everything that determines a campaign's result bytes:
+/// the swept axes, rounds/seed/duration, and the full base scenario — but
+/// not `threads` or `trace`, which cannot influence any result byte. A
+/// progress log is only resumable into a campaign with the same fingerprint.
+std::string campaign_fingerprint(const CampaignConfig& cfg);
+
+/// Crash-resumable run_campaign: journals every finished cell to
+/// `progress_path` (schema `nwade-campaign-progress-v1`: a header naming the
+/// campaign fingerprint, then one CRC-guarded record per completed cell,
+/// appended and flushed as cells finish). When the file already holds
+/// records for the same fingerprint, those cells are not re-run — their
+/// journaled summaries are spliced into the result vector, which stays in
+/// expansion order and byte-identical (campaign_results_json) to an
+/// uninterrupted run. A record half-written at the moment of a crash fails
+/// its CRC on reload and is discarded along with anything after it; the
+/// journal is compacted to the valid prefix before new cells run. A
+/// mismatched fingerprint starts the journal over. Traced campaigns
+/// (cfg.trace) fall back to a plain run — event traces are not journaled —
+/// as does an unopenable progress path.
+std::vector<CellResult> run_campaign_resumable(const CampaignConfig& cfg,
+                                               const std::string& progress_path);
+
 /// Aggregates results (must be in expansion order) per matrix point.
 std::vector<CellAggregate> aggregate(const CampaignConfig& cfg,
                                      const std::vector<CellResult>& results);

@@ -11,9 +11,22 @@ namespace nwade::sim {
 using protocol::VehicleAttackProfile;
 using protocol::VehicleRole;
 
-World::World(ScenarioConfig config)
+World::World(ScenarioConfig config) : World(std::move(config), -1) {}
+
+World::World(ScenarioConfig config, Tick resume_t)
     : config_(std::move(config)),
       intersection_(traffic::Intersection::build(config_.intersection)) {
+  // Resume mode replays construction exactly, except that events which had
+  // already fired by the checkpoint burn their sequence number instead of
+  // being scheduled (see the private-constructor comment in world.h).
+  const bool resume = resume_t >= 0;
+  const auto schedule_or_burn = [&](Tick when, net::EventQueue::Callback fn) {
+    if (resume && when <= resume_t) {
+      queue_.skip_seq();
+    } else {
+      queue_.schedule_at(when, std::move(fn));
+    }
+  };
   config_.nwade.security_enabled = config_.nwade_enabled;
   tracer_.set_enabled(config_.trace_enabled);
   steps_counter_ = registry_.counter("sim.steps");
@@ -67,16 +80,22 @@ World::World(ScenarioConfig config)
   im_ctx.tracer = &tracer_;
   im_ = std::make_unique<protocol::ImNode>(im_ctx, config_.scheduler, im_attack);
   network_->add_node(im_.get());
-  im_->start();
+  if (resume) {
+    // start()'s first window event always predates any checkpoint; the
+    // restored ImNode re-arms its own pending window at the saved (when, seq).
+    queue_.skip_seq();
+  } else {
+    im_->start();
+  }
 
   // A fault-profile outage on the IM node is a process crash, not just a dark
   // radio: drive the crash/restart cycle so volatile state is really lost and
   // rebuilt from the durable block log on recovery.
   for (const net::Outage& outage : config_.network.fault.outages) {
     if (outage.node != kImNodeId) continue;
-    queue_.schedule_at(outage.from, [this] { im_->crash(clock_.now()); });
+    schedule_or_burn(outage.from, [this] { im_->crash(clock_.now()); });
     if (outage.until < kTickMax) {
-      queue_.schedule_at(outage.until, [this] { im_->restart(clock_.now()); });
+      schedule_or_burn(outage.until, [this] { im_->restart(clock_.now()); });
     }
   }
 
@@ -91,11 +110,11 @@ World::World(ScenarioConfig config)
     const bool is_legacy = !attack_roles_.contains(id) &&
                            legacy_rng.chance(config_.legacy_fraction);
     if (is_legacy) {
-      queue_.schedule_at(arrival.time,
-                         [this, arrival, id] { spawn_legacy(arrival, id); });
+      schedule_or_burn(arrival.time,
+                       [this, arrival, id] { spawn_legacy(arrival, id); });
     } else {
       ++managed;
-      queue_.schedule_at(arrival.time, [this, arrival, id] { spawn(arrival, id); });
+      schedule_or_burn(arrival.time, [this, arrival, id] { spawn(arrival, id); });
     }
   }
   metrics_.vehicles_spawned = managed;

@@ -109,6 +109,21 @@ class World final : public protocol::SensorProvider {
 
   RunSummary summary() const;
 
+  // --- checkpoint/restore (sim/checkpoint.h, docs/CHECKPOINT.md) ------------
+  /// Serializes the complete world into an `nwade-ckpt-v1` envelope. Must be
+  /// called at a step boundary — i.e. between run_until calls, never from
+  /// inside an event — so the event queue holds only the re-creatable timer
+  /// and delivery events. The known exception: the tracer's recorded event
+  /// buffer is NOT included (traces are an observability export, not sim
+  /// state; tracing never influences decisions).
+  Bytes checkpoint_save() const;
+  /// Reconstructs a world from a checkpoint and positions it exactly where
+  /// the saved run stood: continuing with run_until/run is byte-identical to
+  /// the uninterrupted run. Returns nullptr on malformed or corrupt input
+  /// (with a diagnostic in *error when provided).
+  static std::unique_ptr<World> checkpoint_restore(const Bytes& blob,
+                                                   std::string* error = nullptr);
+
   // --- SensorProvider -------------------------------------------------------
   std::vector<protocol::Observation> sense_around(geom::Vec2 center, double radius,
                                                   VehicleId exclude) const override;
@@ -116,6 +131,10 @@ class World final : public protocol::SensorProvider {
 
   // --- introspection ----------------------------------------------------------
   Tick now() const { return clock_.now(); }
+  /// The scenario this world runs. For a restored world this is the
+  /// checkpoint's config — the authority on duration/seed/faults — not
+  /// whatever the restoring process was configured with.
+  const ScenarioConfig& config() const { return config_; }
   const protocol::ImNode& im() const { return *im_; }
   const protocol::Metrics& metrics() const { return metrics_; }
   /// The run-scoped metrics registry every layer reports into.
@@ -132,6 +151,19 @@ class World final : public protocol::SensorProvider {
   const std::set<VehicleId>& malicious_ids() const { return malicious_ids_; }
 
  private:
+  /// Resume-mode constructor (checkpoint_restore). `resume_t` >= 0 replays
+  /// construction-time event scheduling in burn mode: events that had already
+  /// fired by the checkpoint (`when <= resume_t`) consume their original
+  /// sequence number without being scheduled, so later allocations — and
+  /// therefore same-tick ordering — line up exactly with the original run.
+  World(ScenarioConfig config, Tick resume_t);
+
+  /// Applies the named checkpoint sections onto a resume-mode-constructed
+  /// world. Telemetry is applied last (construction re-touches gauges), the
+  /// queue's sequence counter last of all.
+  bool apply_checkpoint(const std::map<std::string, Bytes>& sections,
+                        std::string* error);
+
   /// A legacy (non-communicating) vehicle: pure physics, no protocol.
   struct LegacyVehicle {
     int route_id{0};

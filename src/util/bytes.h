@@ -105,8 +105,8 @@ class ByteReader {
   Bytes bytes() {
     const std::uint32_t n = u32();
     if (!ensure(n)) return {};
-    Bytes out(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
-              data_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+    const auto first = data_.begin() + static_cast<std::ptrdiff_t>(pos_);
+    Bytes out(first, first + static_cast<std::ptrdiff_t>(n));
     pos_ += n;
     return out;
   }
@@ -116,16 +116,37 @@ class ByteReader {
     return std::string(b.begin(), b.end());
   }
 
+  /// Skips `n` bytes; sets the error flag if fewer remain.
+  void skip(std::size_t n) {
+    if (ensure(n)) pos_ += n;
+  }
+
+  /// A view of the next `n` bytes without copying; empty (and the error flag
+  /// set) when fewer remain. The view aliases the reader's backing storage.
+  std::span<const std::uint8_t> view(std::size_t n) {
+    if (!ensure(n)) return {};
+    const auto out = data_.subspan(pos_, n);
+    pos_ += n;
+    return out;
+  }
+
   bool ok() const { return ok_; }
   bool at_end() const { return pos_ == data_.size(); }
+  /// Bytes left to read. Safe to call in any state.
+  std::size_t remaining() const { return data_.size() - pos_; }
 
  private:
+  // Overflow-safe bounds check: `pos_ <= data_.size()` is an invariant, so
+  // comparing `n` against the remaining span cannot wrap the way
+  // `pos_ + n > size` would for attacker-controlled 32-bit lengths near
+  // SIZE_MAX. Errors are sticky: once tripped, every later read fails too.
   bool ensure(std::size_t n) {
-    if (pos_ + n > data_.size()) {
+    if (!ok_) return false;
+    if (n > data_.size() - pos_) {
       ok_ = false;
       return false;
     }
-    return ok_;
+    return true;
   }
 
   std::span<const std::uint8_t> data_;

@@ -111,6 +111,18 @@ std::size_t Rng::weighted_index(const std::vector<double>& weights) {
   return weights.size() - 1;
 }
 
+Rng::State Rng::state() const {
+  State st;
+  for (int i = 0; i < 4; ++i) st.s[i] = s_[i];
+  st.seed = seed_;
+  return st;
+}
+
+void Rng::set_state(const State& st) {
+  for (int i = 0; i < 4; ++i) s_[i] = st.s[i];
+  seed_ = st.seed;
+}
+
 Rng Rng::fork(std::uint64_t salt) const {
   std::uint64_t mix = seed_;
   const std::uint64_t a = splitmix64(mix);

@@ -45,6 +45,16 @@ class Rng {
   /// Derives an independent child stream; stable for a given (seed, salt).
   Rng fork(std::uint64_t salt) const;
 
+  /// Serialized generator position: the four xoshiro words plus the original
+  /// seed. Both parts must survive a checkpoint — fork() derives children
+  /// from the seed, while the words carry the stream's current position.
+  struct State {
+    std::uint64_t s[4]{};
+    std::uint64_t seed{0};
+  };
+  State state() const;
+  void set_state(const State& st);
+
  private:
   std::uint64_t s_[4];
   std::uint64_t seed_;

@@ -1,5 +1,6 @@
 #include "util/telemetry.h"
 
+#include <algorithm>
 #include <cinttypes>
 #include <cstdio>
 
@@ -144,6 +145,44 @@ void Registry::reset() {
     for (detail::ShardedCell& b : impl->bucket_counts) b.reset();
     impl->count.reset();
     impl->sum.reset();
+  }
+}
+
+void Registry::restore(const MetricsSnapshot& snap) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, cell] : counters_) cell->reset();
+  for (auto& [name, cell] : gauges_) cell->store(0, std::memory_order_relaxed);
+  for (auto& [name, impl] : histograms_) {
+    for (detail::ShardedCell& b : impl->bucket_counts) b.reset();
+    impl->count.reset();
+    impl->sum.reset();
+  }
+  for (const auto& [name, v] : snap.counters) {
+    auto& slot = counters_[name];
+    if (slot == nullptr) slot = std::make_unique<detail::ShardedCell>();
+    slot->shards[0].v.store(v, std::memory_order_relaxed);
+  }
+  for (const auto& [name, v] : snap.gauges) {
+    auto& slot = gauges_[name];
+    if (slot == nullptr) slot = std::make_unique<std::atomic<std::int64_t>>(0);
+    slot->store(v, std::memory_order_relaxed);
+  }
+  for (const auto& [name, h] : snap.histograms) {
+    auto& slot = histograms_[name];
+    if (slot == nullptr) slot = std::make_unique<detail::HistogramImpl>();
+    // Replace the shape in place: the impl's address (what handles cache)
+    // stays stable even when the edge vector changes.
+    slot->edges = h.upper_edges;
+    slot->bucket_counts =
+        std::vector<detail::ShardedCell>(h.upper_edges.size() + 1);
+    const std::size_t n =
+        std::min(slot->bucket_counts.size(), h.bucket_counts.size());
+    for (std::size_t i = 0; i < n; ++i) {
+      slot->bucket_counts[i].shards[0].v.store(h.bucket_counts[i],
+                                               std::memory_order_relaxed);
+    }
+    slot->count.shards[0].v.store(h.count, std::memory_order_relaxed);
+    slot->sum.shards[0].v.store(h.sum, std::memory_order_relaxed);
   }
 }
 

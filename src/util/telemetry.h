@@ -190,6 +190,12 @@ class Registry {
   MetricsSnapshot snapshot() const;
   /// Zeroes every metric; handles stay valid.
   void reset();
+  /// Overwrites the registry with `snap`: every existing metric is zeroed,
+  /// then each snapshot entry is re-created (if needed) and set to its
+  /// recorded value, so `snapshot()` afterwards equals `snap` exactly.
+  /// Existing handles stay valid — values land in shard 0, which sums the
+  /// same. Used by checkpoint restore; not safe concurrently with writers.
+  void restore(const MetricsSnapshot& snap);
 
  private:
   mutable std::mutex mu_;

@@ -1,0 +1,57 @@
+#!/usr/bin/env bash
+# Campaign CLI contract tests:
+#   - unwritable output paths fail up front (nonzero exit + stderr diagnostic
+#     BEFORE any cell runs), for every output option;
+#   - --resume + --trace is rejected (traces are not journaled);
+#   - --resume across two invocations produces byte-identical results JSON,
+#     with the second invocation replaying the journal instead of re-running.
+#
+# usage: campaign_cli_test.sh CAMPAIGN_BINARY
+set -u
+
+CAMPAIGN="$1"
+
+tmpdir="$(mktemp -d)"
+trap 'rm -rf "$tmpdir"' EXIT
+cd "$tmpdir"
+
+fail() {
+  echo "campaign_cli_test: FAIL: $*" >&2
+  exit 1
+}
+
+SMALL=(--kinds cross4 --attacks benign --vpm 30 --rounds 1 --duration-ms 5000)
+
+# --- unwritable path preflight, per output option ---------------------------
+for opt in --out --results-out --trace-out --trace-jsonl-out --metrics-out --resume; do
+  "$CAMPAIGN" "${SMALL[@]}" "$opt" /nonexistent-dir/x.out > out.log 2> err.log
+  status=$?
+  [ "$status" -ne 0 ] || fail "$opt /nonexistent-dir did not fail"
+  grep -q 'cannot write output path /nonexistent-dir/x.out' err.log \
+    || fail "$opt failure carried no diagnostic: $(cat err.log)"
+  # Up-front means no simulation ran: the per-cell banner never printed.
+  grep -q '^campaign:' out.log && fail "$opt preflight ran the campaign first"
+done
+
+# --- --resume + --trace rejected --------------------------------------------
+"$CAMPAIGN" "${SMALL[@]}" --resume prog.journal --trace > /dev/null 2> err.log
+[ $? -eq 2 ] || fail "--resume --trace accepted"
+grep -q 'cannot be combined with tracing' err.log \
+  || fail "--resume --trace rejection carried no diagnostic"
+
+# --- resume byte-identity ----------------------------------------------------
+"$CAMPAIGN" "${SMALL[@]}" --out a.json --results-out a-results.json \
+  > /dev/null 2>&1 || fail "plain run exited $?"
+"$CAMPAIGN" "${SMALL[@]}" --out b.json --results-out b-results.json \
+  --resume prog.journal > /dev/null 2>&1 || fail "resumable run exited $?"
+cmp -s a-results.json b-results.json \
+  || fail "resumable results differ from plain run"
+[ -s prog.journal ] || fail "no progress journal written"
+
+# Second resumable invocation replays the journal; results stay identical.
+"$CAMPAIGN" "${SMALL[@]}" --out c.json --results-out c-results.json \
+  --resume prog.journal > /dev/null 2>&1 || fail "journal replay exited $?"
+cmp -s a-results.json c-results.json \
+  || fail "journal replay results differ from plain run"
+
+echo "campaign_cli_test: OK"

@@ -51,6 +51,58 @@ TEST(Bytes, TruncatedLengthPrefixedBytesFails) {
   EXPECT_FALSE(r.ok());
 }
 
+TEST(Bytes, SkipViewRemaining) {
+  ByteWriter w;
+  w.u32(0x11223344);
+  w.bytes(Bytes{9, 8, 7});
+  w.u8(0x5a);
+
+  ByteReader r(w.data());
+  EXPECT_EQ(r.remaining(), w.data().size());
+  r.skip(4);
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(r.remaining(), w.data().size() - 4);
+
+  const std::uint32_t len = r.u32();
+  const auto body = r.view(len);
+  ASSERT_EQ(body.size(), 3u);
+  EXPECT_EQ(body[0], 9);
+  EXPECT_EQ(body[2], 7);
+  EXPECT_EQ(r.u8(), 0x5a);
+  EXPECT_TRUE(r.at_end());
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(Bytes, SkipAndViewPastEndSetStickyError) {
+  ByteWriter w;
+  w.u8(1);
+  w.u8(2);
+  {
+    ByteReader r(w.data());
+    r.skip(3);  // only 2 bytes exist
+    EXPECT_FALSE(r.ok());
+    EXPECT_EQ(r.u8(), 0);  // sticky
+  }
+  {
+    ByteReader r(w.data());
+    EXPECT_TRUE(r.view(3).empty());
+    EXPECT_FALSE(r.ok());
+    // remaining() stays well-defined after an error: nothing was consumed.
+    EXPECT_EQ(r.remaining(), 2u);
+  }
+}
+
+TEST(Bytes, ViewAliasesBackingStorageWithoutCopy) {
+  const Bytes data{10, 20, 30, 40};
+  ByteReader r(data);
+  const auto head = r.view(2);
+  ASSERT_EQ(head.size(), 2u);
+  EXPECT_EQ(head.data(), data.data());
+  const auto tail = r.view(2);
+  EXPECT_EQ(tail.data(), data.data() + 2);
+  EXPECT_TRUE(r.at_end());
+}
+
 TEST(Bytes, HexRoundTrip) {
   const Bytes data{0x00, 0x01, 0xab, 0xff};
   EXPECT_EQ(to_hex(data), "0001abff");
