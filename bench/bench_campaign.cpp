@@ -29,6 +29,7 @@ using namespace nwade;
 
 struct Options {
   bool smoke{false};
+  bool allow_single_core{false};
 };
 
 sim::CampaignConfig matrix(bool smoke) {
@@ -52,6 +53,24 @@ sim::CampaignConfig matrix(bool smoke) {
 }
 
 int run(const Options& opt) {
+  // A 1-core host cannot produce meaningful thread-scaling numbers — the
+  // pool-N rows would measure scheduling overhead and look like the engine
+  // failing to scale. Refuse to record an envelope from such a host unless
+  // the caller opts in explicitly (the envelope then carries
+  // single_core_host=true so a diff tool can refuse to compare it against
+  // multicore runs). The smoke mode never records, so it always runs.
+  const bool single_core = std::thread::hardware_concurrency() <= 1;
+  if (!opt.smoke && single_core && !opt.allow_single_core) {
+    std::fprintf(stderr,
+                 "refusing to record BENCH_campaign.json: "
+                 "hardware_concurrency=%u (thread-scaling numbers from a "
+                 "1-core host are pool overhead, not speedup).\n"
+                 "Re-run with --allow-single-core to record anyway; the "
+                 "envelope will carry single_core_host=true.\n",
+                 std::thread::hardware_concurrency());
+    return 3;
+  }
+
   const auto t_start = std::chrono::steady_clock::now();
   sim::CampaignConfig cfg = matrix(opt.smoke);
   const std::size_t cells = sim::expand_cells(cfg).size();
@@ -114,6 +133,8 @@ int run(const Options& opt) {
       bench::json_field("campaign_cells", static_cast<double>(cells), 0),
       bench::json_field("pool_sizes", pool_list),
       bench::json_field("results_deterministic", std::string("true")),
+      bench::json_field("single_core_host",
+                        std::string(single_core ? "true" : "false")),
   };
 
   const double wall_s = std::chrono::duration<double>(
@@ -166,8 +187,11 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) {
       opt.smoke = true;
+    } else if (std::strcmp(argv[i], "--allow-single-core") == 0) {
+      opt.allow_single_core = true;
     } else {
-      std::fprintf(stderr, "usage: %s [--smoke]\n", argv[0]);
+      std::fprintf(stderr, "usage: %s [--smoke] [--allow-single-core]\n",
+                   argv[0]);
       return 2;
     }
   }

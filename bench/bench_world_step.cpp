@@ -34,9 +34,18 @@ using namespace nwade;
 
 struct Options {
   bool smoke{false};
+  bool allow_single_core{false};
 };
 
-sim::ScenarioConfig scenario(bool smoke, bool quadratic) {
+enum class Mode {
+  kQuadratic,      ///< all-pairs sweeps (the original reference)
+  kAosReference,   ///< spatial index + retained AoS stepping loops
+  kSoa,            ///< spatial index + SoA columns, chunked kernels, 1 thread
+  kSoaThreads2,    ///< SoA chunked kernels on a 2-thread pool
+  kSoaThreads4,    ///< SoA chunked kernels on a 4-thread pool
+};
+
+sim::ScenarioConfig scenario(bool smoke, Mode mode) {
   sim::ScenarioConfig cfg;
   cfg.intersection.kind = traffic::IntersectionKind::kCross4;
   cfg.vehicles_per_minute = smoke ? 80 : 1500;
@@ -44,7 +53,10 @@ sim::ScenarioConfig scenario(bool smoke, bool quadratic) {
   cfg.legacy_fraction = 0.4;  // exercises both car-following lookups
   cfg.nwade_enabled = false;  // stepping only; crypto is bench_hot_paths' job
   cfg.seed = 9;
-  cfg.quadratic_reference = quadratic;
+  cfg.quadratic_reference = mode == Mode::kQuadratic;
+  cfg.aos_reference = mode == Mode::kAosReference;
+  if (mode == Mode::kSoaThreads2) cfg.step_threads = 2;
+  if (mode == Mode::kSoaThreads4) cfg.step_threads = 4;
   return cfg;
 }
 
@@ -73,47 +85,92 @@ std::string fingerprint(const sim::RunSummary& s) {
 }
 
 int run(const Options& opt) {
+  // The step_threads phases below are thread-scaling numbers: on a 1-core
+  // host they measure pool overhead, not speedup. Refuse to record an
+  // envelope from such a host unless explicitly overridden (the envelope
+  // then carries single_core_host=true). The smoke mode never records real
+  // timings, so it always runs.
+  const bool single_core = std::thread::hardware_concurrency() <= 1;
+  if (!opt.smoke && single_core && !opt.allow_single_core) {
+    std::fprintf(stderr,
+                 "refusing to record BENCH_world_step.json: "
+                 "hardware_concurrency=%u (the step_threads phases from a "
+                 "1-core host measure pool overhead, not speedup).\n"
+                 "Re-run with --allow-single-core to record anyway; the "
+                 "envelope will carry single_core_host=true.\n",
+                 std::thread::hardware_concurrency());
+    return 3;
+  }
+
   const auto t_start = std::chrono::steady_clock::now();
   const int warmup = opt.smoke ? 0 : 1;
   const int reps = opt.smoke ? 1 : 5;
 
-  // Equivalence gate first: identical summaries, or the timings below
-  // compare different simulations.
-  const std::string fp_quadratic =
-      fingerprint(sim::World(scenario(opt.smoke, true)).run());
-  const std::string fp_indexed =
-      fingerprint(sim::World(scenario(opt.smoke, false)).run());
-  if (fp_quadratic != fp_indexed) {
-    std::fprintf(stderr,
-                 "FAIL: quadratic and indexed runs diverged\n  quadratic: "
-                 "%s\n  indexed:   %s\n",
-                 fp_quadratic.c_str(), fp_indexed.c_str());
-    return 1;
+  // Equivalence gate first: every mode must produce an identical summary, or
+  // the timings below compare different simulations. The gate spans all
+  // three layers of replacement: all-pairs -> spatial index (quadratic vs
+  // aos_reference), AoS loops -> SoA chunked kernels (aos_reference vs soa),
+  // and serial -> pooled chunk execution (soa vs step_threads=4).
+  const struct {
+    Mode mode;
+    const char* name;
+  } modes[] = {
+      {Mode::kQuadratic, "quadratic"},
+      {Mode::kAosReference, "aos_reference"},
+      {Mode::kSoa, "soa"},
+      {Mode::kSoaThreads4, "soa_threads4"},
+  };
+  std::string fp_reference;
+  for (const auto& m : modes) {
+    const std::string fp = fingerprint(sim::World(scenario(opt.smoke, m.mode)).run());
+    if (fp_reference.empty()) {
+      fp_reference = fp;
+    } else if (fp != fp_reference) {
+      std::fprintf(stderr,
+                   "FAIL: %s run diverged from quadratic reference\n  "
+                   "reference: %s\n  %s: %s\n",
+                   m.name, fp_reference.c_str(), m.name, fp.c_str());
+      return 1;
+    }
   }
-  std::printf("equivalence: quadratic and indexed summaries identical\n  %s\n",
-              fp_indexed.c_str());
+  std::printf("equivalence: quadratic, aos_reference, soa, and soa_threads4 "
+              "summaries identical\n  %s\n",
+              fp_reference.c_str());
 
   // Phase boundary: start each mode from a pristine process-wide cache so
   // one phase's memoized verdicts can never skew the other's timings.
-  crypto::SigVerifyCache::instance().reset();
-  const auto quad = bench::timed_median(warmup, reps, [&] {
-    sim::World world(scenario(opt.smoke, true));
-    (void)world.run();
-  });
-  crypto::SigVerifyCache::instance().reset();
-  const auto indexed = bench::timed_median(warmup, reps, [&] {
-    sim::World world(scenario(opt.smoke, false));
-    (void)world.run();
-  });
-  const double speedup =
-      indexed.median_ms > 0 ? quad.median_ms / indexed.median_ms : 0;
+  const auto timed_mode = [&](Mode mode) {
+    crypto::SigVerifyCache::instance().reset();
+    return bench::timed_median(warmup, reps, [&] {
+      sim::World world(scenario(opt.smoke, mode));
+      (void)world.run();
+    });
+  };
+  const auto quad = timed_mode(Mode::kQuadratic);
+  const auto aos = timed_mode(Mode::kAosReference);
+  const auto soa = timed_mode(Mode::kSoa);
+  const auto soa_t2 = timed_mode(Mode::kSoaThreads2);
+  const auto soa_t4 = timed_mode(Mode::kSoaThreads4);
+  const auto ratio = [](const bench::TimingStats& before,
+                        const bench::TimingStats& after) {
+    return after.median_ms > 0 ? before.median_ms / after.median_ms : 0;
+  };
 
   const std::vector<std::string> phases = {
       bench::json_phase("world_step_quadratic", quad),
-      bench::json_phase("world_step_indexed", indexed),
-      bench::json_speedup("world_step", speedup),
+      bench::json_phase("world_step_aos_reference", aos),
+      bench::json_phase("world_step_soa_threads1", soa),
+      bench::json_phase("world_step_soa_threads2", soa_t2),
+      bench::json_phase("world_step_soa_threads4", soa_t4),
+      // Every speedup row names both sides: numerator config vs denominator.
+      bench::json_speedup("world_step_soa_threads1_vs_quadratic",
+                          ratio(quad, soa)),
+      bench::json_speedup("world_step_soa_threads1_vs_aos_reference",
+                          ratio(aos, soa)),
+      bench::json_speedup("world_step_soa_threads4_vs_soa_threads1",
+                          ratio(soa, soa_t4)),
   };
-  const sim::ScenarioConfig shape = scenario(opt.smoke, false);
+  const sim::ScenarioConfig shape = scenario(opt.smoke, Mode::kSoa);
   const std::vector<std::string> extra = {
       bench::json_field("vehicles_per_minute", shape.vehicles_per_minute, 0),
       bench::json_field("duration_ms",
@@ -121,6 +178,8 @@ int run(const Options& opt) {
       bench::json_field("legacy_fraction", shape.legacy_fraction, 2),
       bench::json_field("nwade_enabled", std::string("false")),
       bench::json_field("summaries_identical", std::string("true")),
+      bench::json_field("single_core_host",
+                        std::string(single_core ? "true" : "false")),
   };
 
   const double wall_s = std::chrono::duration<double>(
@@ -148,9 +207,13 @@ int run(const Options& opt) {
     }
     std::printf("smoke OK: equivalence holds and envelope round-trips\n");
   } else {
-    std::printf("world_step speedup: %.2fx (quadratic %.2f ms -> indexed "
-                "%.2f ms)\n",
-                speedup, quad.median_ms, indexed.median_ms);
+    std::printf(
+        "world_step: quadratic %.2f ms, aos %.2f ms, soa %.2f ms "
+        "(%.2fx vs quadratic, %.2fx vs aos), soa@2t %.2f ms, soa@4t %.2f ms "
+        "(%.2fx vs soa@1t, hardware_concurrency=%u)\n",
+        quad.median_ms, aos.median_ms, soa.median_ms, ratio(quad, soa),
+        ratio(aos, soa), soa_t2.median_ms, soa_t4.median_ms,
+        ratio(soa, soa_t4), std::thread::hardware_concurrency());
   }
   return 0;
 }
@@ -162,8 +225,11 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) {
       opt.smoke = true;
+    } else if (std::strcmp(argv[i], "--allow-single-core") == 0) {
+      opt.allow_single_core = true;
     } else {
-      std::fprintf(stderr, "usage: %s [--smoke]\n", argv[0]);
+      std::fprintf(stderr, "usage: %s [--smoke] [--allow-single-core]\n",
+                   argv[0]);
       return 2;
     }
   }

@@ -9,6 +9,14 @@
 #   scripts/check.sh default      # just the default tree
 #   scripts/check.sh asan tsan    # just the sanitizer trees
 #
+# Opt-in perf-regression stage (never part of the default sweep):
+#
+#   NWADE_BENCH_BASELINE_DIR=/path/to/baselines scripts/check.sh bench-diff
+#
+# compares every checked-in BENCH_*.json against the same-named envelope in
+# the baseline directory via scripts/bench_diff.py. The tolerated regression
+# percentage is NWADE_BENCH_DIFF_THRESHOLD (default 10).
+#
 # Build dirs: build/ (default), build-asan/, build-tsan/. Existing dirs are
 # reused (incremental); delete one to force a clean configure.
 set -euo pipefail
@@ -45,8 +53,22 @@ for stage in "${stages[@]}"; do
       echo "=== TSan tree: chaos suite ==="
       run_tree build-tsan -DSANITIZE=thread -- -L chaos
       ;;
+    bench-diff)
+      echo "=== bench-diff: BENCH_*.json vs baseline envelopes ==="
+      : "${NWADE_BENCH_BASELINE_DIR:?bench-diff needs NWADE_BENCH_BASELINE_DIR=<dir with baseline BENCH_*.json>}"
+      threshold="${NWADE_BENCH_DIFF_THRESHOLD:-10}"
+      for envelope in BENCH_*.json; do
+        baseline="$NWADE_BENCH_BASELINE_DIR/$envelope"
+        if [[ ! -f "$baseline" ]]; then
+          echo "skip $envelope (no baseline in $NWADE_BENCH_BASELINE_DIR)"
+          continue
+        fi
+        python3 scripts/bench_diff.py "$baseline" "$envelope" \
+          --threshold "$threshold" --speedup-threshold "$threshold"
+      done
+      ;;
     *)
-      echo "unknown stage '$stage' (want: default asan tsan)" >&2
+      echo "unknown stage '$stage' (want: default asan tsan bench-diff)" >&2
       exit 2
       ;;
   esac

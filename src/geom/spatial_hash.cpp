@@ -17,8 +17,15 @@ void SpatialHash::set_cell_size(double cell_size) {
 }
 
 void SpatialHash::clear() {
+  // Capacity-retaining: keep the map nodes and each cell's vector buffer so
+  // a steady-state rebuild (clear + re-insert every step) allocates nothing
+  // once the index has seen its working set of cells. Empty retained cells
+  // are invisible to queries — they contribute no candidates and no pairs —
+  // and the degenerate-disc heuristic counts populated_cells_, not map
+  // nodes, so decisions match a freshly constructed index exactly.
   points_.clear();
-  cells_.clear();
+  for (auto& [key, members] : cells_) members.clear();
+  populated_cells_ = 0;
 }
 
 void SpatialHash::reserve(std::size_t points) { points_.reserve(points); }
@@ -30,7 +37,9 @@ std::int64_t SpatialHash::cell_coord(double v) const {
 std::size_t SpatialHash::insert(Vec2 pos) {
   const std::size_t index = points_.size();
   points_.push_back(pos);
-  cells_[pack(cell_coord(pos.x), cell_coord(pos.y))].push_back(index);
+  auto& members = cells_[pack(cell_coord(pos.x), cell_coord(pos.y))];
+  if (members.empty()) ++populated_cells_;
+  members.push_back(index);
   return index;
 }
 
@@ -46,7 +55,7 @@ void SpatialHash::query_candidates(Vec2 center, double radius,
   // the per-cell walk and hand back all indices (already ascending).
   const std::uint64_t span =
       static_cast<std::uint64_t>(x1 - x0 + 1) * static_cast<std::uint64_t>(y1 - y0 + 1);
-  if (span >= cells_.size() * 2 + 1) {
+  if (span >= populated_cells_ * 2 + 1) {
     const std::size_t base = out.size();
     out.resize(base + points_.size());
     for (std::size_t i = 0; i < points_.size(); ++i) out[base + i] = i;

@@ -39,6 +39,9 @@ class SpatialHash {
   /// Changing the cell size clears the index (buckets are size-dependent).
   void set_cell_size(double cell_size);
 
+  /// Empties the index but retains allocated capacity (map nodes and
+  /// per-cell vectors), so a clear+reinsert rebuild over a stable working
+  /// set of cells is allocation-free in the steady state.
   void clear();
   void reserve(std::size_t points);
 
@@ -109,6 +112,9 @@ class SpatialHash {
   double cell_size_;
   std::vector<Vec2> points_;
   std::unordered_map<std::uint64_t, std::vector<std::size_t>> cells_;
+  /// Cells currently holding >= 1 point; clear() retains empty map nodes
+  /// for allocation-free rebuilds, so cells_.size() over-counts.
+  std::size_t populated_cells_{0};
 };
 
 }  // namespace nwade::geom

@@ -225,8 +225,9 @@ std::vector<aim::TravelPlan> ImNode::track_unmanaged(Tick now) {
   // below used to rebuild both plans' occupancy tables per pair, which made
   // the refresh quadratic-with-a-heavy-constant in (legacy x managed).
   std::map<VehicleId, aim::PlanOccupancy> occ_cache;
-  const auto seen = ctx_.sensors->sense_around(
-      {0, 0}, ctx_.config->im_perception_radius_m, VehicleId{});
+  ctx_.sensors->sense_around_into({0, 0}, ctx_.config->im_perception_radius_m,
+                                  VehicleId{}, sense_buf_);
+  const auto& seen = sense_buf_;
   for (const Observation& obs : seen) {
     // Managed vehicles (even ones whose plan went stale) are never
     // reclassified as legacy: the IM has their identity on file.
@@ -586,8 +587,9 @@ int ImNode::ask_group(VerificationRound& round, Tick now) {
     const auto& route = ctx_.intersection->route(it->second.route_id);
     center = route.path.point_at(it->second.s_at(ctx_.clock->now()));
   }
-  auto candidates =
-      ctx_.sensors->sense_around(center, ctx_.config->sensing_radius_m, round.suspect);
+  ctx_.sensors->sense_around_into(center, ctx_.config->sensing_radius_m,
+                                  round.suspect, sense_buf_);
+  auto& candidates = sense_buf_;
   std::sort(candidates.begin(), candidates.end(),
             [&](const Observation& a, const Observation& b) {
               return a.status.position.distance_to(center) <

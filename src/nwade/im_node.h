@@ -236,6 +236,11 @@ class ImNode final : public net::Node {
   util::telemetry::Counter windows_counter_;
   util::telemetry::Counter plans_scheduled_counter_;
   util::telemetry::Gauge reservations_gauge_;
+
+  /// Reused sensor-sweep buffer (the IM is single-threaded and the sweep
+  /// sites never nest, so one buffer serves them all). Transient — never
+  /// checkpointed.
+  std::vector<Observation> sense_buf_;
 };
 
 }  // namespace nwade::protocol

@@ -29,6 +29,16 @@ class SensorProvider {
   virtual std::vector<Observation> sense_around(geom::Vec2 center, double radius,
                                                 VehicleId exclude) const = 0;
 
+  /// Buffer-reusing variant: clears `out` and fills it with exactly the
+  /// observations sense_around would return, in the same order. Hot-path
+  /// callers (the per-step watch scan, the IM's unmanaged tracker) hold a
+  /// reusable buffer so steady-state sensing allocates nothing. The default
+  /// forwards to sense_around so mock providers keep working unchanged.
+  virtual void sense_around_into(geom::Vec2 center, double radius, VehicleId exclude,
+                                 std::vector<Observation>& out) const {
+    out = sense_around(center, radius, exclude);
+  }
+
   /// Observation of one specific vehicle if it is still on the road.
   virtual std::optional<Observation> observe(VehicleId id) const = 0;
 };

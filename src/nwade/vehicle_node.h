@@ -25,6 +25,7 @@
 #include "nwade/messages.h"
 #include "nwade/metrics.h"
 #include "nwade/sensor.h"
+#include "traffic/types.h"
 
 namespace nwade::protocol {
 
@@ -80,6 +81,14 @@ struct VehicleContext {
   /// Optional telemetry (nullptr = no trace); injected by the World.
   util::telemetry::Registry* registry{nullptr};
   util::trace::Tracer* tracer{nullptr};
+  /// Optional SoA home for the vehicle's kinematic hot state (progress,
+  /// speed, lateral offset). When set, the node claims one row at
+  /// construction and its s_/v_/lateral_offset_ references alias the column
+  /// slots, so the world's phase kernels can stream every vehicle's
+  /// kinematics contiguously. nullptr = the node stores them locally
+  /// (standalone tests, the world's AoS reference mode). Must outlive the
+  /// node and must be reserve()d for every row it will ever hold.
+  traffic::VehicleColumns* columns{nullptr};
 };
 
 class VehicleNode final : public net::Node {
@@ -98,8 +107,35 @@ class VehicleNode final : public net::Node {
   void start();
   /// Physics + timers; call every simulation step.
   void step(Tick now, Duration dt_ms);
+
+  // Deterministic-parallel seams. The world classifies every vehicle from
+  // its own pre-step state, runs maximal side-effect-free runs through
+  // step_kinematics() on the worker pool, and serializes everything else at
+  // its exact id position — byte-identical to calling step() on each
+  // vehicle in id order.
+  /// True when step(now, ·) could do more than advance kinematics and latch
+  /// the exit state: send messages, touch shared metrics, sense, or take a
+  /// protocol transition. Pure function of this vehicle's own state, and
+  /// stable across earlier vehicles' steps (their physics cannot change the
+  /// inputs), so the whole fleet can be classified up front.
+  bool step_has_side_effects(Tick now) const;
+  /// The side-effect-free slice of step(): advances s/v/lateral and latches
+  /// kExited. Returns true when the vehicle exited this step; the caller
+  /// owns the exit bookkeeping (exited metric, network removal, crossing
+  /// time) the full step() would have done. Only valid when
+  /// !step_has_side_effects(now). Safe to run concurrently with other
+  /// vehicles' step_kinematics (touches only this vehicle's rows).
+  bool step_kinematics(Tick now, Duration dt_ms);
+
   /// Neighbourhood-watch scan; the world calls it every watch interval.
+  /// Equivalent to watch_due() ? (watch_scan(), watch_emit()) : nothing.
   void watch(Tick now);
+  // Split watch for the chunked phase: eligibility (pure), the sensor sweep
+  // (read-only against the frozen scene — parallel-safe), then the emit half
+  // (reports/sends/state transitions — serial, id order).
+  bool watch_due(Tick now) const;
+  void watch_scan(Tick now);
+  void watch_emit(Tick now);
 
   // --- introspection ------------------------------------------------------------
   VehicleId id() const { return id_; }
@@ -162,9 +198,12 @@ class VehicleNode final : public net::Node {
   std::optional<double> deviation_of(const Observation& obs, Tick now) const;
   void report_incident(const Observation& obs, double deviation, Tick now);
 
-  // Attack behaviours.
-  void run_attack(Tick now);
-  void inject_false_incident(Tick now);
+  // Attack behaviours. The caller hands run_attack the current sensor sweep
+  // (same arguments the old internal sense used, same frozen scene) so the
+  // watch phase senses exactly once per vehicle.
+  void run_attack(Tick now, const std::vector<Observation>& observations);
+  void inject_false_incident(Tick now,
+                             const std::vector<Observation>& observations);
   void inject_false_global(Tick now);
 
   // Self-evacuation entry point.
@@ -193,10 +232,16 @@ class VehicleNode final : public net::Node {
 
   VehicleState state_{VehicleState::kPreparation};
 
-  // Physical ground truth.
-  double s_{0};
-  double v_{0};
-  double lateral_offset_{0};  ///< deviators drift off the lane centreline
+  // Physical ground truth. When ctx_.columns is set the values live in the
+  // world's SoA columns (one claimed row) and the references alias the
+  // column slots; otherwise they alias the local fallback. Every method —
+  // including the checkpoint byte layout — reads and writes through the
+  // references, so both homes behave identically.
+  std::size_t kin_row_{0};
+  double kin_fallback_[3]{0.0, 0.0, 0.0};  ///< s, v, lateral when columnless
+  double& s_;
+  double& v_;
+  double& lateral_offset_;  ///< deviators drift off the lane centreline
 
   // Protocol state.
   chain::BlockStore store_;
@@ -242,6 +287,10 @@ class VehicleNode final : public net::Node {
   bool attack_fired_{false};
   bool global_report_sent_{false};
   int sensed_neighbours_{0};
+  /// Reused observation buffer: filled by watch_scan(), consumed by
+  /// watch_emit() within the same watch phase. Transient scratch — never
+  /// checkpointed, stale outside the phase.
+  std::vector<Observation> obs_scratch_;
 };
 
 }  // namespace nwade::protocol

@@ -784,11 +784,17 @@ bool World::apply_checkpoint(const std::map<std::string, Bytes>& sections,
       ctx.network = network_.get();
       ctx.clock = &clock_;
       ctx.sensors = this;
-      ctx.im_verifier = signer_->verifier_with_cache(verify_cache_);
+      ctx.im_verifier = im_verifier_;
       ctx.metrics = &metrics_;
       ctx.malicious_ids = &malicious_ids_;
       ctx.registry = &registry_;
       ctx.tracer = &tracer_;
+      // Vehicles restore in ascending id order — the same order the original
+      // run spawned them — so each node claims the same SoA row it held
+      // before the checkpoint. step_threads/aos_reference are deliberately
+      // not part of the envelope; a restored world always uses the current
+      // config's defaults, which cannot change results (only wall clock).
+      ctx.columns = config_.aos_reference ? nullptr : &columns_;
       auto node = std::make_unique<protocol::VehicleNode>(
           ctx, id, route_id, traits, spawn_time, profile);
       if (!node->checkpoint_restore(r)) {

@@ -8,6 +8,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <unordered_set>
 #include <vector>
 
 #include "crypto/signer.h"
@@ -20,8 +21,10 @@
 #include "nwade/sensor.h"
 #include "nwade/vehicle_node.h"
 #include "traffic/arrivals.h"
+#include "traffic/types.h"
 #include "util/telemetry.h"
 #include "util/trace.h"
+#include "util/worker_pool.h"
 
 namespace nwade::sim {
 
@@ -74,6 +77,23 @@ struct ScenarioConfig {
   /// only observes — it never draws randomness or changes decisions — so
   /// trace_golden digests are byte-identical either way.
   bool trace_enabled{false};
+
+  /// Worker threads for the intra-world phase kernels (chunked physics /
+  /// watch scans / gap audit) and the batched signature prefetch. <= 1 runs
+  /// everything inline on the calling thread. Chunk boundaries and every
+  /// merge are fixed, so results are byte-identical for ANY value — this is
+  /// a wall-clock knob, never a behaviour knob. Deliberately not part of the
+  /// checkpoint envelope: a resumed world may pick a different thread count
+  /// and still continue bit-exactly.
+  int step_threads{1};
+
+  /// true = per-vehicle hot state stays inside each node (array-of-structs)
+  /// and step_world runs the original serial per-vehicle loops with inline
+  /// signature verification. Kept purely as the equivalence/bench baseline
+  /// for the SoA + chunked execution path (same pattern as
+  /// quadratic_reference); both modes produce byte-identical runs. Also not
+  /// checkpointed.
+  bool aos_reference{false};
 };
 
 /// Aggregated outcome of one run.
@@ -127,7 +147,26 @@ class World final : public protocol::SensorProvider {
   // --- SensorProvider -------------------------------------------------------
   std::vector<protocol::Observation> sense_around(geom::Vec2 center, double radius,
                                                   VehicleId exclude) const override;
+  /// Allocation-free variant: fills `out` (cleared first). Thread-safe for
+  /// concurrent callers once the grids are built for the current position
+  /// epoch (step_watch pre-builds them before fanning scans out).
+  void sense_around_into(geom::Vec2 center, double radius, VehicleId exclude,
+                         std::vector<protocol::Observation>& out) const override;
   std::optional<protocol::Observation> observe(VehicleId id) const override;
+
+  /// Heap allocations the chunked kernels of the most recent step performed
+  /// (process-wide, so pool threads are covered) — measured only in
+  /// NWADE_COUNT_ALLOCS builds (always zero otherwise, and always zero in
+  /// aos_reference mode, which has no chunked kernels). `physics` meters the
+  /// pure-run kinematics fan-outs; `watch` meters the sensor-scan fan-out.
+  /// The serial merges and emits around them (crossing-time appends,
+  /// incident reports, block requests) allocate by design and are excluded.
+  /// The alloc-gate test asserts the warmed kernels never allocate.
+  struct StepAllocCounts {
+    std::uint64_t physics{0};
+    std::uint64_t watch{0};
+  };
+  StepAllocCounts last_step_allocs() const { return last_step_allocs_; }
 
   // --- introspection ----------------------------------------------------------
   Tick now() const { return clock_.now(); }
@@ -182,6 +221,18 @@ class World final : public protocol::SensorProvider {
   void step_world(Tick now);
   void rebuild_sense_grids() const;
 
+  // Chunked phase kernels (byte-identical to the serial aos_reference loops;
+  // see step_world for the equivalence argument).
+  void step_physics(Tick now, Duration dt);
+  void step_watch(Tick now, Tick step_index, Tick watch_every);
+  std::size_t step_gap_audit(Tick now);
+  /// Batched signature verification: collects the distinct uncached
+  /// (key, payload, signature) triples among block deliveries due this step,
+  /// verifies them across the worker pool, and parks the verdicts in
+  /// sig_batch_ where RsaVerifier::verify picks them up after a (counted)
+  /// cache miss — cache contents and stats identical to inline verification.
+  void prefetch_block_signatures(Tick until);
+
   ScenarioConfig config_;
   traffic::Intersection intersection_;
   net::SimClock clock_;
@@ -196,6 +247,11 @@ class World final : public protocol::SensorProvider {
   protocol::Metrics metrics_;
   std::set<VehicleId> malicious_ids_;
   std::map<VehicleId, protocol::VehicleAttackProfile> attack_roles_;
+  /// SoA home for every managed vehicle's kinematic hot state; row r belongs
+  /// to the r-th spawned vehicle (rows append in ascending id order, exited
+  /// rows stay with active == 0). Reserved up front for every arrival so the
+  /// node-held references never dangle. Empty in aos_reference mode.
+  traffic::VehicleColumns columns_;
   std::unique_ptr<protocol::ImNode> im_;
   std::map<VehicleId, std::unique_ptr<protocol::VehicleNode>> vehicles_;
   std::map<VehicleId, LegacyVehicle> legacy_;
@@ -212,6 +268,41 @@ class World final : public protocol::SensorProvider {
   /// function, so the verdicts are identical either way.
   crypto::SigVerifyCache verify_cache_;
 
+  /// Worker pool behind the chunked phase kernels and the signature
+  /// prefetch; 0 workers (step_threads <= 1) runs everything inline.
+  util::WorkerPool step_pool_;
+  /// Per-step side-table of prefetched signature verdicts; cleared every
+  /// step, recomputable, never checkpointed.
+  crypto::SigBatchTable sig_batch_;
+  /// One verifier shared by every vehicle (verification is pure and the RSA
+  /// context is thread-safe, so sharing changes nothing); wired to
+  /// verify_cache_ and sig_batch_.
+  std::shared_ptr<const crypto::Verifier> im_verifier_;
+  bool batch_verify_{false};  ///< prefetch on: RSA + worker pool + !aos_reference
+
+  // Reused phase scratch (chunked kernels): cleared and refilled every step
+  // so the warmed steady state never touches the heap.
+  std::vector<protocol::VehicleNode*> step_nodes_;
+  std::vector<std::uint8_t> step_impure_;
+  std::vector<std::uint8_t> step_exited_;
+  std::vector<protocol::VehicleNode*> watch_due_;
+  struct AuditProbe {
+    geom::Vec2 pos;
+    double s{0};
+    int route{-1};
+    bool parked_off_lane{false};
+  };
+  std::vector<AuditProbe> audit_probes_;
+  geom::SpatialHash audit_grid_{2.0};  ///< capacity-retaining, cleared per audit
+  std::vector<int> audit_partials_;
+  // Batch-verify collection scratch (prefetch_block_signatures).
+  std::vector<crypto::Digest> batch_keys_;
+  std::vector<Bytes> batch_payloads_;
+  std::vector<const Bytes*> batch_sigs_;
+  std::vector<std::uint8_t> batch_ok_;
+  std::unordered_set<crypto::Digest, crypto::DigestKeyHash> batch_seen_;
+  StepAllocCounts last_step_allocs_;
+
   /// Bumped whenever positions may have changed (step_world entry, spawns);
   /// the lazily rebuilt sensor grids below are keyed on it.
   std::uint64_t position_epoch_{0};
@@ -224,7 +315,6 @@ class World final : public protocol::SensorProvider {
   mutable std::vector<VehicleId> sense_managed_ids_;
   mutable geom::SpatialHash sense_legacy_grid_{64.0};
   mutable std::vector<VehicleId> sense_legacy_ids_;
-  mutable std::vector<std::size_t> sense_scratch_;
   mutable std::uint64_t sense_built_epoch_{~0ULL};
 
   // Car-following lookup index: managed positions snapshotted at the top of

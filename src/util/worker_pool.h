@@ -52,6 +52,34 @@ class WorkerPool {
     return out;
   }
 
+  /// Chunked range execution: calls fn(begin, end) for each half-open chunk
+  /// [k*chunk_size, min((k+1)*chunk_size, count)). Chunk boundaries depend
+  /// only on (count, chunk_size) — never on the thread count — so any
+  /// per-chunk partial results a caller accumulates and merges in chunk
+  /// order are bit-identical for any pool size. Like for_each this is a
+  /// barrier; `fn` must only touch per-chunk state. The inline path (pool of
+  /// size <= 1) runs the chunks on the calling thread without materializing
+  /// a std::function, so steady-state callers stay allocation-free.
+  template <typename F>
+  void parallel_for(std::size_t count, std::size_t chunk_size, F&& fn) {
+    if (count == 0) return;
+    if (chunk_size == 0) chunk_size = 1;
+    const std::size_t chunks = (count + chunk_size - 1) / chunk_size;
+    if (threads_.empty() || chunks == 1) {
+      for (std::size_t k = 0; k < chunks; ++k) {
+        const std::size_t begin = k * chunk_size;
+        const std::size_t end = begin + chunk_size < count ? begin + chunk_size : count;
+        fn(begin, end);
+      }
+      return;
+    }
+    for_each(chunks, [&](std::size_t k) {
+      const std::size_t begin = k * chunk_size;
+      const std::size_t end = begin + chunk_size < count ? begin + chunk_size : count;
+      fn(begin, end);
+    });
+  }
+
  private:
   void worker_loop();
   void run_inline(std::size_t count, const std::function<void(std::size_t)>& task);

@@ -1,0 +1,68 @@
+// Allocation gate for the chunked world-step kernels (ctest label: alloc).
+//
+// World::last_step_allocs() meters the process-wide heap-allocation counter
+// around exactly the chunked fan-outs of a step — the pure-run kinematics
+// kernel and the sensor-scan kernel — excluding the serial merges and emits
+// around them, which send protocol messages and allocate by design. Once a
+// world is warm (scratch capacities grown, sensor grids and pools sized),
+// both kernels must stay at exactly zero on every subsequent step, spawns
+// and exits included. Only measured in -DNWADE_COUNT_ALLOCS=ON builds; the
+// default build skips.
+#include <gtest/gtest.h>
+
+#include "sim/world.h"
+#include "util/alloc_stats.h"
+
+namespace nwade::sim {
+namespace {
+
+#define REQUIRE_COUNTING()                                                  \
+  if (!util::alloc_counting_enabled()) {                                    \
+    GTEST_SKIP() << "build with -DNWADE_COUNT_ALLOCS=ON to arm this gate";  \
+  }
+
+TEST(WorldAllocGate, ChunkedStepKernelsAreAllocationFreeOnceWarm) {
+  REQUIRE_COUNTING();
+  ScenarioConfig cfg;
+  cfg.intersection.kind = traffic::IntersectionKind::kCross4;
+  cfg.vehicles_per_minute = 80;
+  cfg.duration_ms = 90'000;
+  cfg.seed = 1;
+
+  World world(cfg);
+  world.run_until(30'000);  // warm: scratch capacities, grids, pool state
+
+  int measured = 0;
+  for (Tick t = 30'000 + cfg.step_ms; t <= cfg.duration_ms; t += cfg.step_ms) {
+    world.run_until(t);
+    const auto allocs = world.last_step_allocs();
+    ASSERT_EQ(allocs.physics, 0u) << "physics kernel allocated at t=" << t;
+    ASSERT_EQ(allocs.watch, 0u) << "watch scan kernel allocated at t=" << t;
+    ++measured;
+  }
+  EXPECT_EQ(measured, 600);  // 60 s of 100 ms steps, none skipped
+}
+
+// Same gate under an attack scenario: the deviator runs serially (its step
+// has side effects), so the chunked kernels around it must stay clean.
+TEST(WorldAllocGate, KernelsStayCleanUnderDeviationAttack) {
+  REQUIRE_COUNTING();
+  ScenarioConfig cfg;
+  cfg.intersection.kind = traffic::IntersectionKind::kCross4;
+  cfg.vehicles_per_minute = 80;
+  cfg.duration_ms = 80'000;
+  cfg.seed = 5;
+  cfg.attack = protocol::AttackSetting{"deviation", 1, false, 0, 0};
+
+  World world(cfg);
+  world.run_until(40'000);
+  for (Tick t = 40'000 + cfg.step_ms; t <= cfg.duration_ms; t += cfg.step_ms) {
+    world.run_until(t);
+    const auto allocs = world.last_step_allocs();
+    ASSERT_EQ(allocs.physics, 0u) << "physics kernel allocated at t=" << t;
+    ASSERT_EQ(allocs.watch, 0u) << "watch scan kernel allocated at t=" << t;
+  }
+}
+
+}  // namespace
+}  // namespace nwade::sim

@@ -122,6 +122,44 @@ TEST(WorldEquivalence, QuadraticAndIndexedRunsLockStep) {
   }
 }
 
+// The SoA vehicle columns and the chunked phase kernels replaced the
+// retained AoS stepping loops. Like the spatial index, they are only
+// allowed to reorganize memory and work — never to change a result byte.
+// `aos_reference` pins the old layout (per-node kinematic members, serial
+// monolithic loops); the default runs the SoA columns with fixed-boundary
+// chunk execution. Lock-step through every golden scenario.
+TEST(WorldEquivalence, SoAColumnsAndAoSReferenceRunLockStep) {
+  const struct {
+    geom::Vec2 center;
+    double radius;
+  } probes[] = {
+      {{0.0, 0.0}, 20.0},   {{0.0, 0.0}, 45.0},  {{32.0, 0.0}, 45.0},
+      {{0.0, -64.0}, 30.0}, {{-40.0, 40.0}, 120.0},
+  };
+
+  for (const auto& [name, cfg] : golden_scenarios()) {
+    SCOPED_TRACE(name);
+    ScenarioConfig aos_cfg = cfg;
+    aos_cfg.aos_reference = true;
+    World aos(aos_cfg);
+    World soa(cfg);
+
+    for (Tick t = 5'000; t <= cfg.duration_ms; t += 5'000) {
+      aos.run_until(t);
+      soa.run_until(t);
+      ASSERT_EQ(fingerprint(aos.summary()), fingerprint(soa.summary()))
+          << name << " diverged at t=" << t;
+      for (const auto& p : probes) {
+        ASSERT_EQ(render(aos.sense_around(p.center, p.radius, VehicleId{})),
+                  render(soa.sense_around(p.center, p.radius, VehicleId{})))
+            << name << " sense_around mismatch at t=" << t << " center=("
+            << p.center.x << "," << p.center.y << ") r=" << p.radius;
+      }
+    }
+    EXPECT_EQ(aos.vehicle_ids(), soa.vehicle_ids());
+  }
+}
+
 // The broadcast pre-filter must also leave the channel accounting untouched:
 // packets_out_of_range counts every non-receiver the same way the all-pairs
 // scan did. (Covered by the fingerprint above, asserted separately so a
