@@ -174,7 +174,9 @@ BENCHMARK(BM_BlockStructuralVerify)
 /// and written to BENCH_crypto_micro.json (nwade-bench-v1, support.h). The
 /// amortized-context phase shows what RsaVerifyContext saves over the free
 /// function, which pays Montgomery setup on every call.
-void emit_bench_json() {
+constexpr const char* kOutPath = "BENCH_crypto_micro.json";
+
+bool emit_bench_json() {
   const auto t_start = std::chrono::steady_clock::now();
   const auto& key = key_of(2048);
   const Bytes msg = test_data(512);
@@ -229,7 +231,7 @@ void emit_bench_json() {
            sign_context.median_ms > 0 ? sign_free.median_ms / sign_context.median_ms
                                       : 0),
        nwade::bench::json_phase("sha256_64k", sha_64k)});
-  nwade::bench::write_bench_file("BENCH_crypto_micro.json", envelope);
+  return nwade::bench::write_bench_file(kOutPath, envelope);
 }
 
 }  // namespace
@@ -237,8 +239,11 @@ void emit_bench_json() {
 int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  // Fail on an unwritable envelope path before the minutes of RSA timing,
+  // and propagate a failed write as a failing exit code — a silent envelope
+  // loss would let CI diff against a stale BENCH file.
+  if (!nwade::bench::preflight_output_path(kOutPath)) return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
-  emit_bench_json();
-  return 0;
+  return emit_bench_json() ? 0 : 1;
 }

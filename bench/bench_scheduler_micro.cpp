@@ -127,7 +127,9 @@ BENCHMARK(BM_TrafficLightSchedule)->Unit(benchmark::kMicrosecond);
 /// Headline phases re-measured with the shared warmup + median-of-N helper
 /// and written to BENCH_scheduler_micro.json (nwade-bench-v1, support.h) so
 /// run-over-run diffs don't depend on google-benchmark's console format.
-void emit_bench_json() {
+constexpr const char* kOutPath = "BENCH_scheduler_micro.json";
+
+bool emit_bench_json() {
   const auto t_start = std::chrono::steady_clock::now();
   const auto& ix = intersection_of(1);  // 4-way cross
   traffic::ArrivalGenerator gen(ix, 120, Rng(4));
@@ -162,7 +164,7 @@ void emit_bench_json() {
            burst_indexed.median_ms > 0
                ? burst_linear.median_ms / burst_indexed.median_ms
                : 0)});
-  nwade::bench::write_bench_file("BENCH_scheduler_micro.json", envelope);
+  return nwade::bench::write_bench_file(kOutPath, envelope);
 }
 
 }  // namespace
@@ -170,8 +172,11 @@ void emit_bench_json() {
 int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  // Fail on an unwritable envelope path before the timing runs, and
+  // propagate a failed write as a failing exit code — a silent envelope
+  // loss would let CI diff against a stale BENCH file.
+  if (!nwade::bench::preflight_output_path(kOutPath)) return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
-  emit_bench_json();
-  return 0;
+  return emit_bench_json() ? 0 : 1;
 }

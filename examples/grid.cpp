@@ -1,0 +1,266 @@
+// Grid CLI: steps an N x M lattice of cross4 intersections (sim::Grid) in
+// deterministic lockstep, prints a per-shard table plus the boundary
+// handoff / cross-IM gossip counters, and optionally writes a summary JSON.
+// The grid digest is byte-identical for any --threads value; the pool only
+// changes the wall clock (same contract as the campaign CLI).
+//
+// Neighborhood-watch-across-intersections demo: flag one origin shard with a
+// Table I attack and watch the gossip lane spread the blacklist —
+//
+//   ./build/examples/grid --rows 2 --cols 2 --attack V1 --attack-shard 0
+//
+// The blacklist column shows the attacker confirmed at shard 0 and imported
+// (distrusted before ever misbehaving there) at the downstream shards.
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "nwade/config.h"
+#include "sim/grid.h"
+
+using namespace nwade;
+
+namespace {
+
+void usage(const char* argv0) {
+  std::printf(
+      "usage: %s [options]\n"
+      "  --rows N / --cols N        lattice shape (default 2x2, max 64 shards)\n"
+      "  --vpm X                    traffic density per shard (veh/min)\n"
+      "  --duration-ms N            simulated length\n"
+      "  --threads N                shard-stepping pool (wall clock only)\n"
+      "  --seed N                   grid seed (shards + edges derive from it)\n"
+      "  --exchange-ms N            boundary-exchange cadence\n"
+      "  --gossip-ms N              blacklist-gossip cadence\n"
+      "  --max-hops N               handoffs per vehicle after origin crossing\n"
+      "  --attack NAME              Table I setting (default benign)\n"
+      "  --attack-shard N           row-major shard the attack runs in "
+      "(default 0)\n"
+      "  --summary-out PATH         write the grid summary as JSON\n"
+      "  --allow-single-core        run --threads > 1 on a 1-core host anyway\n",
+      argv0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  sim::GridConfig cfg;
+  cfg.rows = 2;
+  cfg.cols = 2;
+  cfg.shard.intersection.kind = traffic::IntersectionKind::kCross4;
+  cfg.shard.vehicles_per_minute = 120;
+  cfg.shard.duration_ms = 60'000;
+  cfg.shard.attack_time = 10'000;
+  cfg.seed = 1;
+  cfg.attack_shard = 0;
+  std::string attack = "benign";
+  std::string summary_path;
+  bool allow_single_core = false;
+
+  auto value = [&](int& i) -> const char* {
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "missing value for %s\n", argv[i]);
+      std::exit(2);
+    }
+    return argv[++i];
+  };
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--rows") {
+      cfg.rows = std::atoi(value(i));
+    } else if (arg == "--cols") {
+      cfg.cols = std::atoi(value(i));
+    } else if (arg == "--vpm") {
+      cfg.shard.vehicles_per_minute = std::atof(value(i));
+    } else if (arg == "--duration-ms") {
+      cfg.shard.duration_ms = std::atol(value(i));
+    } else if (arg == "--threads") {
+      cfg.grid_threads = std::atoi(value(i));
+    } else if (arg == "--seed") {
+      cfg.seed = std::strtoull(value(i), nullptr, 10);
+    } else if (arg == "--exchange-ms") {
+      cfg.exchange_every_ms = std::atol(value(i));
+    } else if (arg == "--gossip-ms") {
+      cfg.gossip_every_ms = std::atol(value(i));
+    } else if (arg == "--max-hops") {
+      cfg.max_hops = std::atoi(value(i));
+    } else if (arg == "--attack") {
+      attack = value(i);
+    } else if (arg == "--attack-shard") {
+      cfg.attack_shard = std::atoi(value(i));
+    } else if (arg == "--summary-out") {
+      summary_path = value(i);
+    } else if (arg == "--allow-single-core") {
+      allow_single_core = true;
+    } else if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
+      usage(argv[0]);
+      return 2;
+    }
+  }
+
+  const int shards = cfg.rows * cfg.cols;
+  if (cfg.rows <= 0 || cfg.cols <= 0 || shards > 64) {
+    std::fprintf(stderr, "--rows x --cols must be 1..64 shards\n");
+    return 2;
+  }
+  if (cfg.shard.vehicles_per_minute <= 0 || cfg.shard.duration_ms <= 0) {
+    std::fprintf(stderr, "--vpm and --duration-ms must be positive\n");
+    return 2;
+  }
+  if (cfg.exchange_every_ms <= 0 ||
+      cfg.exchange_every_ms % cfg.shard.step_ms != 0 ||
+      cfg.gossip_every_ms % cfg.exchange_every_ms != 0) {
+    std::fprintf(stderr,
+                 "--exchange-ms must be a positive multiple of the %lld ms "
+                 "step and --gossip-ms a multiple of --exchange-ms\n",
+                 static_cast<long long>(cfg.shard.step_ms));
+    return 2;
+  }
+  if (cfg.attack_shard >= shards) {
+    std::fprintf(stderr, "--attack-shard %d out of range (0..%d)\n",
+                 cfg.attack_shard, shards - 1);
+    return 2;
+  }
+  // attack_setting_by_name silently falls back to benign; reject typos here
+  // so a mistyped demo does not silently run the wrong scenario.
+  if (attack != "benign" &&
+      protocol::attack_setting_by_name(attack).name != attack) {
+    std::fprintf(stderr, "unknown Table I attack setting '%s'\n",
+                 attack.c_str());
+    return 2;
+  }
+  cfg.shard.attack = protocol::attack_setting_by_name(attack);
+
+  // Same guard rail as the bench drivers: a 1-core host cannot show grid
+  // scaling, so a multi-thread request there is almost always a mistake.
+  // --threads 1 always runs; --allow-single-core overrides.
+  if (cfg.grid_threads > 1 && std::thread::hardware_concurrency() <= 1 &&
+      !allow_single_core) {
+    std::fprintf(stderr,
+                 "refusing --threads %d on a 1-core host "
+                 "(hardware_concurrency=%u): the pool can only add overhead.\n"
+                 "Re-run with --threads 1 or add --allow-single-core.\n",
+                 cfg.grid_threads, std::thread::hardware_concurrency());
+    return 3;
+  }
+
+  // Preflight the output path BEFORE the run (campaign CLI contract): a
+  // typo'd directory should fail in milliseconds, not after the simulation.
+  // Append mode probes writability without clobbering existing content; a
+  // path the probe had to create is removed again.
+  if (!summary_path.empty()) {
+    std::FILE* probe_existing = std::fopen(summary_path.c_str(), "rb");
+    const bool existed = probe_existing != nullptr;
+    if (probe_existing) std::fclose(probe_existing);
+    std::FILE* probe = std::fopen(summary_path.c_str(), "ab");
+    if (!probe) {
+      std::fprintf(stderr, "cannot write output path %s: %s\n",
+                   summary_path.c_str(), std::strerror(errno));
+      return 1;
+    }
+    std::fclose(probe);
+    if (!existed) std::remove(summary_path.c_str());
+  }
+
+  std::printf(
+      "grid: %dx%d cross4 shards, %.0f vpm/shard (%.0f aggregate), %lld ms, "
+      "%d thread(s)\n"
+      "      exchange every %lld ms, gossip every %lld ms, attack %s",
+      cfg.rows, cfg.cols, cfg.shard.vehicles_per_minute,
+      cfg.shard.vehicles_per_minute * shards,
+      static_cast<long long>(cfg.shard.duration_ms), cfg.grid_threads,
+      static_cast<long long>(cfg.exchange_every_ms),
+      static_cast<long long>(cfg.gossip_every_ms), attack.c_str());
+  if (attack != "benign" && cfg.attack_shard >= 0) {
+    std::printf(" @ shard %d", cfg.attack_shard);
+  }
+  std::printf("\n");
+
+  const auto t0 = std::chrono::steady_clock::now();
+  sim::Grid grid(std::move(cfg));
+  const sim::GridSummary s = grid.run();
+  const double wall_s = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - t0)
+                            .count();
+
+  std::printf("\n%-7s %-9s %-8s %-12s %-11s %-10s\n", "shard", "spawned",
+              "exited", "throughput", "crossing_s", "blacklist");
+  for (int r = 0; r < grid.rows(); ++r) {
+    for (int c = 0; c < grid.cols(); ++c) {
+      const int idx = r * grid.cols() + c;
+      const sim::RunSummary& sh = s.shards[static_cast<std::size_t>(idx)];
+      const sim::World& w = grid.shard(r, c);
+      std::printf("(%d,%d)%s %-9d %-8d %-12.1f %-11.1f %-10zu\n", r, c,
+                  idx == grid.config().attack_shard && attack != "benign"
+                      ? "*"
+                      : " ",
+                  sh.metrics.vehicles_spawned, sh.metrics.vehicles_exited,
+                  sh.throughput_vpm, sh.mean_crossing_ms / 1000.0,
+                  w.im().confirmed_suspects().size());
+    }
+  }
+  std::printf(
+      "\nhandoffs: %llu sent, %llu deferred by outages, %llu delivered; "
+      "%llu vehicles retired at the lattice edge\n",
+      static_cast<unsigned long long>(s.handoffs_sent),
+      static_cast<unsigned long long>(s.handoffs_deferred),
+      static_cast<unsigned long long>(s.handoffs_delivered),
+      static_cast<unsigned long long>(s.retired));
+  std::printf("gossip:   %llu packets sent, %llu lost, %llu blacklist "
+              "imports downstream\n",
+              static_cast<unsigned long long>(s.gossip_sent),
+              static_cast<unsigned long long>(s.gossip_dropped),
+              static_cast<unsigned long long>(s.gossip_imports));
+  std::printf("aggregate throughput %.1f vpm in %.2f s wall clock\n",
+              s.aggregate_throughput_vpm, wall_s);
+  std::printf("grid digest %s\n", sim::Grid::summary_digest(s).c_str());
+
+  if (!summary_path.empty()) {
+    std::ostringstream json;
+    json << "{\n  \"schema\": \"nwade-grid-summary-v1\",\n"
+         << "  \"rows\": " << s.rows << ",\n  \"cols\": " << s.cols << ",\n"
+         << "  \"attack\": \"" << attack << "\",\n"
+         << "  \"attack_shard\": " << grid.config().attack_shard << ",\n"
+         << "  \"grid_digest\": \"" << sim::Grid::summary_digest(s) << "\",\n"
+         << "  \"handoffs_sent\": " << s.handoffs_sent << ",\n"
+         << "  \"handoffs_deferred\": " << s.handoffs_deferred << ",\n"
+         << "  \"handoffs_delivered\": " << s.handoffs_delivered << ",\n"
+         << "  \"gossip_sent\": " << s.gossip_sent << ",\n"
+         << "  \"gossip_dropped\": " << s.gossip_dropped << ",\n"
+         << "  \"gossip_imports\": " << s.gossip_imports << ",\n"
+         << "  \"retired\": " << s.retired << ",\n"
+         << "  \"aggregate_throughput_vpm\": " << s.aggregate_throughput_vpm
+         << ",\n  \"shards\": [\n";
+    for (std::size_t i = 0; i < s.shards.size(); ++i) {
+      const sim::RunSummary& sh = s.shards[i];
+      const sim::World& w = grid.shard(static_cast<int>(i) / grid.cols(),
+                                       static_cast<int>(i) % grid.cols());
+      json << "    {\"spawned\": " << sh.metrics.vehicles_spawned
+           << ", \"exited\": " << sh.metrics.vehicles_exited
+           << ", \"throughput_vpm\": " << sh.throughput_vpm
+           << ", \"blacklist\": " << w.im().confirmed_suspects().size() << "}"
+           << (i + 1 < s.shards.size() ? "," : "") << "\n";
+    }
+    json << "  ]\n}\n";
+    std::ofstream out(summary_path, std::ios::trunc);
+    out << json.str();
+    if (!out) {
+      std::fprintf(stderr, "failed to write %s\n", summary_path.c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", summary_path.c_str());
+  }
+  return 0;
+}

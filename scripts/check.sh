@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
 # Full verification sweep: the default tree runs every suite (unit, chaos,
-# perf smokes, obs, the soak SIGKILL smoke, campaign CLI); the sanitizer
-# trees rebuild the whole stack instrumented and run their intended payload
-# — the chaos label (fault injection, corrupt-wire fuzzing, threaded
-# campaign fan-out; see docs/FAULT_MODEL.md and docs/CHECKPOINT.md).
+# perf smokes, obs, the soak SIGKILL smoke, campaign CLI, the bench_diff.py
+# unittests); the sanitizer trees rebuild the whole stack instrumented and
+# run their intended payload — the chaos label (fault injection,
+# corrupt-wire fuzzing, threaded campaign fan-out, the grid shard fan-out:
+# grid_parallel_test and the bench_grid smoke both carry it; see
+# docs/FAULT_MODEL.md, docs/CHECKPOINT.md, docs/GRID.md).
 #
 #   scripts/check.sh              # default + ASan + TSan
 #   scripts/check.sh default      # just the default tree

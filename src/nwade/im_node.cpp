@@ -423,6 +423,21 @@ void ImNode::on_message(const net::Envelope& env) {
 }
 
 void ImNode::handle_plan_request(const PlanRequest& req) {
+  // Blacklisted vehicle — confirmed here or imported from a neighboring IM
+  // via cross-IM gossip: refuse service. The request is dropped before the
+  // duplicate check so even a suspect holding a stale plan gets nothing new;
+  // the vehicle burns its retries and falls back to the sensor-gated
+  // degraded crossing, never holding a reservation through the conflict
+  // zone. The counter is created lazily so runs that never reject keep their
+  // telemetry snapshots (and golden digests) unchanged.
+  if (confirmed_suspects_.contains(req.vehicle)) {
+    if (ctx_.registry != nullptr) {
+      ctx_.registry->counter("nwade.plan_rejections").inc();
+    }
+    trace_instant("im", "plan_rejected_blacklisted", ctx_.clock->now(),
+                  static_cast<std::int64_t>(req.vehicle.value));
+    return;
+  }
   // Duplicate request: the vehicle lost our block. Re-send the block that
   // carries its plan instead of double-scheduling it.
   if (active_plans_.contains(req.vehicle)) {
@@ -723,6 +738,19 @@ std::vector<aim::ActiveVehicle> ImNode::active_vehicles(Tick now,
                                      plan.v_at(now)});
   }
   return out;
+}
+
+bool ImNode::import_blacklist(VehicleId suspect, Tick now) {
+  // Crashed IMs miss gossip rounds; the grid re-sends cumulative snapshots
+  // every interval, so a restarted node converges one round later.
+  if (down_) return false;
+  if (!confirmed_suspects_.insert(suspect).second) return false;
+  if (ctx_.registry != nullptr) {
+    ctx_.registry->counter("nwade.blacklist_imports").inc();
+  }
+  trace_instant("im", "blacklist_import", now,
+                static_cast<std::int64_t>(suspect.value));
+  return true;
 }
 
 void ImNode::confirm_threat(VehicleId suspect, Tick now) {

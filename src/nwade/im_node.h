@@ -116,6 +116,20 @@ class ImNode final : public net::Node {
   /// Lets tests place checkpoints *inside* a verify round.
   std::size_t active_verification_rounds() const { return rounds_.size(); }
 
+  // --- cross-IM evidence gossip (sim::Grid) ---------------------------------
+  /// Imports another intersection's confirmed threat into the local
+  /// blacklist. Unlike confirm_threat this is forward-looking service
+  /// refusal only: no evacuation, no state-machine transition — the suspect
+  /// is (usually) not even here yet. Its future plan requests are rejected
+  /// (handle_plan_request) and its revocation rides in every block this IM
+  /// publishes. Returns true when the suspect was newly imported.
+  bool import_blacklist(VehicleId suspect, Tick now);
+  /// Confirmed locally or imported via gossip.
+  bool is_blacklisted(VehicleId v) const { return confirmed_suspects_.contains(v); }
+  const std::set<VehicleId>& confirmed_suspects() const {
+    return confirmed_suspects_;
+  }
+
   // --- checkpoint/restore (sim/checkpoint) ----------------------------------
   /// Serializes the full automaton: FSM state, plan tables, the durable
   /// block log, every verification round with its pending tally deadline,

@@ -18,6 +18,7 @@ enum class Tag : std::uint8_t {
   kAlarmDismiss = 7,
   kEvacuationAlert = 8,
   kGlobalReport = 9,
+  kBlacklistGossip = 10,
 };
 
 void encode_block(ByteWriter& w, const std::shared_ptr<const chain::Block>& b) {
@@ -103,6 +104,12 @@ void encode_message(ByteWriter& w, const net::Message& msg) {
     w.u64(m->block_seq);
     w.u64(m->suspect.value);
     m->suspect_status.serialize(w);
+  } else if (const auto* m = dynamic_cast<const BlacklistGossip*>(&msg)) {
+    w.u8(static_cast<std::uint8_t>(Tag::kBlacklistGossip));
+    w.u32(m->origin_shard);
+    w.i64(m->issued_at);
+    w.u32(static_cast<std::uint32_t>(m->suspects.size()));
+    for (const VehicleId v : m->suspects) w.u64(v.value);
   } else {
     std::fprintf(stderr, "message_codec: unknown message kind '%s'\n",
                  msg.kind().c_str());
@@ -185,6 +192,16 @@ net::MessagePtr decode_message(ByteReader& r) {
       m->suspect = VehicleId{r.u64()};
       m->suspect_status = traffic::VehicleStatus::deserialize(r);
       return r.ok() && static_cast<std::uint8_t>(m->reason) <= 3 ? m : nullptr;
+    }
+    case Tag::kBlacklistGossip: {
+      auto m = std::make_shared<BlacklistGossip>();
+      m->origin_shard = r.u32();
+      m->issued_at = r.i64();
+      const std::uint32_t n = r.u32();
+      if (!r.ok() || n > r.remaining() / 8) return nullptr;
+      m->suspects.reserve(n);
+      for (std::uint32_t i = 0; i < n; ++i) m->suspects.push_back(VehicleId{r.u64()});
+      return r.ok() ? m : nullptr;
     }
   }
   return nullptr;

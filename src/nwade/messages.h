@@ -8,6 +8,7 @@
 #pragma once
 
 #include <memory>
+#include <vector>
 
 #include "chain/block.h"
 #include "net/network.h"
@@ -165,6 +166,21 @@ struct GlobalReport final : net::Message {
 
   std::string kind() const override { return "global_report"; }
   std::size_t wire_size() const override { return 96; }
+};
+
+/// IM -> neighboring IMs: cumulative confirmed-suspect snapshot (attacker
+/// blacklist). Carried on sim::Grid's inter-shard edge channels — never the
+/// intra-intersection radio — so a vehicle flagged at one intersection is
+/// distrusted downstream (ImNode::import_blacklist) within a bounded gossip
+/// delay. The snapshot is cumulative: losing one round only delays
+/// convergence by one gossip interval.
+struct BlacklistGossip final : net::Message {
+  std::uint32_t origin_shard{0};
+  Tick issued_at{0};
+  std::vector<VehicleId> suspects;
+
+  std::string kind() const override { return "blacklist_gossip"; }
+  std::size_t wire_size() const override { return 24 + 8 * suspects.size(); }
 };
 
 }  // namespace nwade::protocol

@@ -160,6 +160,16 @@ class VehicleNode final : public net::Node {
   const std::set<VehicleId>& self_evac_announced() const;
   Tick spawn_time() const { return spawn_time_; }
   const VehicleAttackProfile& attack_profile() const { return attack_; }
+  /// SoA row this node claimed at construction (0 when columnless). The
+  /// checkpoint layer records it so a restored world can rebuild nodes in
+  /// row order — which is spawn order, not necessarily id order once grid
+  /// handoffs inject foreign ids mid-run.
+  std::size_t kin_row() const { return kin_row_; }
+
+  /// Grid boundary handoff: seeds the carried-over entry speed right after
+  /// construction, before the vehicle's first step. Plain assignment through
+  /// the kinematics reference, so both the SoA and the columnless home see it.
+  void seed_speed(double v_mps) { v_ = v_mps; }
 
   // --- checkpoint/restore (sim/checkpoint) -----------------------------------
   /// Serializes all dynamic state: automaton state, kinematics, the block

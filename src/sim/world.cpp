@@ -81,10 +81,14 @@ World::World(ScenarioConfig config, Tick resume_t)
   auto arrivals = gen.generate(config_.duration_ms);
   assign_attack_roles(arrivals);
 
-  // Any arrival may become a managed vehicle owning one SoA row; reserving
-  // for all of them up front keeps the node-held references stable for the
-  // whole run (VehicleColumns::add_row asserts on this).
-  if (!config_.aos_reference) columns_.reserve(arrivals.size());
+  // Any arrival may become a managed vehicle owning one SoA row — plus any
+  // vehicle a grid may hand off into this shard mid-run; reserving for all
+  // of them up front keeps the node-held references stable for the whole
+  // run (VehicleColumns::add_row asserts on this).
+  if (!config_.aos_reference) {
+    columns_.reserve(arrivals.size() +
+                     static_cast<std::size_t>(config_.extra_vehicle_capacity));
+  }
 
   // Intersection manager.
   protocol::ImAttackProfile im_attack;
@@ -132,7 +136,7 @@ World::World(ScenarioConfig config, Tick resume_t)
   std::uint64_t next_id = 1;
   int managed = 0;
   for (const traffic::Arrival& arrival : arrivals) {
-    const VehicleId id{next_id++};
+    const VehicleId id{config_.vehicle_id_base + next_id++};
     const bool is_legacy = !attack_roles_.contains(id) &&
                            legacy_rng.chance(config_.legacy_fraction);
     if (is_legacy) {
@@ -173,7 +177,8 @@ void World::assign_attack_roles(std::vector<traffic::Arrival>& arrivals) {
   int assigned = 0;
   for (std::size_t idx : candidates) {
     if (assigned >= total_malicious) break;
-    const VehicleId id{idx + 1};  // ids are assigned in arrival order
+    // Ids are assigned in arrival order, offset by the shard's id base.
+    const VehicleId id{config_.vehicle_id_base + idx + 1};
     VehicleAttackProfile profile;
     if (assigned < attack.plan_violations) {
       profile.role = VehicleRole::kDeviator;
@@ -230,6 +235,70 @@ void World::spawn_legacy(const traffic::Arrival& arrival, VehicleId id) {
   legacy_[id] = l;
   spawn_times_[id] = clock_.now();
   ++position_epoch_;  // legacy vehicles are sensor-visible from spawn
+}
+
+void World::record_exit(const protocol::VehicleNode& v, Tick now) {
+  if (!exit_log_enabled_) return;
+  ExitRecord rec;
+  rec.id = v.id();
+  rec.route_id = v.route_id();
+  rec.exit_time = now;
+  rec.speed_mps = v.speed_mps();
+  rec.traits = v.traits();
+  rec.attack = v.attack_profile();
+  exit_log_.push_back(rec);
+}
+
+void World::inject_vehicle(VehicleId id, int route_id,
+                           const traffic::VehicleTraits& traits,
+                           double speed_mps,
+                           const protocol::VehicleAttackProfile& attack) {
+  assert(!vehicles_.contains(id) && !legacy_.contains(id));
+  // The ground-truth roster travels with the vehicle: a deviator stays a
+  // deviator downstream (its trigger may already be in the past), and the
+  // metrics classification keeps seeing it as malicious.
+  if (attack.role != VehicleRole::kBenign) {
+    malicious_ids_.insert(id);
+    attack_roles_[id] = attack;
+  }
+  traffic::Arrival arrival;
+  arrival.time = clock_.now();
+  arrival.route_id = route_id;
+  arrival.traits = traits;
+  arrival.initial_speed_mps = speed_mps;
+  metrics_.vehicles_spawned++;
+  spawn(arrival, id);
+  // Handoffs enter at their carried exit speed (spawn() starts at rest),
+  // clamped to this intersection's limit.
+  vehicles_.at(id)->seed_speed(
+      std::min(speed_mps, intersection_.config().limits.speed_limit_mps));
+}
+
+void World::inject_legacy(VehicleId id, int route_id,
+                          const traffic::VehicleTraits& traits,
+                          double speed_mps) {
+  assert(!vehicles_.contains(id) && !legacy_.contains(id));
+  traffic::Arrival arrival;
+  arrival.time = clock_.now();
+  arrival.route_id = route_id;
+  arrival.traits = traits;
+  arrival.initial_speed_mps = speed_mps;
+  spawn_legacy(arrival, id);
+}
+
+bool World::import_blacklist(VehicleId suspect) {
+  return im_->import_blacklist(suspect, clock_.now());
+}
+
+std::size_t World::arrival_count(const ScenarioConfig& config) {
+  // Mirrors the constructor's arrival draw exactly: Rng::fork derives the
+  // child stream from the seed alone (not the parent's position), so the
+  // signer's draws in between cannot perturb it.
+  const traffic::Intersection intersection =
+      traffic::Intersection::build(config.intersection);
+  traffic::ArrivalGenerator gen(intersection, config.vehicles_per_minute,
+                                Rng(config.seed).fork(1));
+  return gen.generate(config.duration_ms).size();
 }
 
 geom::Vec2 World::legacy_position(const LegacyVehicle& l) const {
@@ -328,6 +397,16 @@ void World::step_legacy(Duration dt_ms) {
     l.s += l.v * dt;
     if (l.s >= intersection_.route(l.route_id).path.length() - 0.05) {
       l.exited = true;
+      if (exit_log_enabled_) {
+        ExitRecord rec;
+        rec.id = id;
+        rec.route_id = l.route_id;
+        rec.exit_time = clock_.now();
+        rec.speed_mps = l.v;
+        rec.traits = l.traits;
+        rec.legacy = true;
+        exit_log_.push_back(rec);
+      }
     }
   }
 }
@@ -376,6 +455,7 @@ void World::step_world(Tick now) {
       if (vehicle->exited()) {
         network_->remove_node(vehicle->node_id());
         crossing_times_.push_back(now - spawn_times_[id]);
+        record_exit(*vehicle, now);
       }
     }
   } else {
@@ -430,6 +510,7 @@ void World::step_physics(Tick now, Duration dt) {
       if (v->exited()) {
         network_->remove_node(v->node_id());
         crossing_times_.push_back(now - spawn_times_[v->id()]);
+        record_exit(*v, now);
       }
       ++i;
       continue;
@@ -457,6 +538,7 @@ void World::step_physics(Tick now, Duration dt) {
       metrics_.vehicles_exited++;
       network_->remove_node(step_nodes_[k]->node_id());
       crossing_times_.push_back(now - spawn_times_[step_nodes_[k]->id()]);
+      record_exit(*step_nodes_[k], now);
     }
     i = j;
   }

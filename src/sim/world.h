@@ -9,6 +9,7 @@
 #include <map>
 #include <memory>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "crypto/signer.h"
@@ -94,6 +95,18 @@ struct ScenarioConfig {
   /// quadratic_reference); both modes produce byte-identical runs. Also not
   /// checkpointed.
   bool aos_reference{false};
+
+  // --- grid-sharding hooks (sim::Grid) ---------------------------------------
+  /// Ids this world hands out start at vehicle_id_base + 1; a grid assigns
+  /// each shard a disjoint base so ids (and therefore NodeIds) stay globally
+  /// unique across shards. 0 keeps the classic 1..N single-world numbering
+  /// bit-identical. Part of the checkpoint envelope.
+  std::uint64_t vehicle_id_base{0};
+  /// Extra SoA rows reserved beyond this world's own arrivals, for vehicles
+  /// injected mid-run (grid boundary handoffs). Serialized so a restored
+  /// world re-reserves identically and node-held row references never
+  /// dangle (traffic::VehicleColumns::add_row asserts on spare capacity).
+  std::uint64_t extra_vehicle_capacity{0};
 };
 
 /// Aggregated outcome of one run.
@@ -168,6 +181,47 @@ class World final : public protocol::SensorProvider {
   };
   StepAllocCounts last_step_allocs() const { return last_step_allocs_; }
 
+  // --- grid-sharding hooks (sim::Grid) ----------------------------------------
+  /// A vehicle that left this intersection, captured at its exit commit
+  /// point with everything a neighboring shard needs to continue it: route
+  /// (for the exit leg), carried speed, identity/traits, and the attack
+  /// profile (ground truth travels with the vehicle).
+  struct ExitRecord {
+    VehicleId id;
+    int route_id{0};
+    Tick exit_time{0};
+    double speed_mps{0};
+    traffic::VehicleTraits traits;
+    protocol::VehicleAttackProfile attack;
+    bool legacy{false};
+  };
+  /// Turns on exit capture (off by default so standalone worlds never grow
+  /// an undrained log). The grid enables it right after construction — and
+  /// again after a checkpoint restore; the flag is deliberately not part of
+  /// the envelope because the grid drains the log before every save.
+  void enable_exit_log() { exit_log_enabled_ = true; }
+  /// Drains the exits recorded since the last call, in exit order.
+  std::vector<ExitRecord> take_exits() { return std::exchange(exit_log_, {}); }
+  /// Boundary handoff: spawns a managed vehicle mid-run with an explicit
+  /// (globally unique, never seen here) id, a continuation route, and its
+  /// carried entry speed (clamped to this intersection's limit). Call at a
+  /// step boundary — between run_until calls. A non-benign attack profile
+  /// re-registers the vehicle in malicious_ids().
+  void inject_vehicle(VehicleId id, int route_id,
+                      const traffic::VehicleTraits& traits, double speed_mps,
+                      const protocol::VehicleAttackProfile& attack = {});
+  /// Legacy flavor of inject_vehicle: no V2X, constant-cruise car following.
+  void inject_legacy(VehicleId id, int route_id,
+                     const traffic::VehicleTraits& traits, double speed_mps);
+  /// Cross-IM gossip import (forwards to ImNode::import_blacklist at the
+  /// current sim time). Returns true when the suspect was newly imported.
+  bool import_blacklist(VehicleId suspect);
+  /// How many arrivals (managed + legacy) this scenario generates — re-runs
+  /// the construction-time Poisson draw deterministically without building a
+  /// world. Grids use it to size extra_vehicle_capacity and to keep
+  /// vehicle_id_base strides collision-free.
+  static std::size_t arrival_count(const ScenarioConfig& config);
+
   // --- introspection ----------------------------------------------------------
   Tick now() const { return clock_.now(); }
   /// The scenario this world runs. For a restored world this is the
@@ -214,6 +268,9 @@ class World final : public protocol::SensorProvider {
   };
 
   void assign_attack_roles(std::vector<traffic::Arrival>& arrivals);
+  /// Appends to exit_log_ (no-op unless enable_exit_log()); called at every
+  /// managed exit commit point with the just-exited node.
+  void record_exit(const protocol::VehicleNode& v, Tick now);
   void spawn(const traffic::Arrival& arrival, VehicleId id);
   void spawn_legacy(const traffic::Arrival& arrival, VehicleId id);
   void step_legacy(Duration dt_ms);
@@ -257,6 +314,12 @@ class World final : public protocol::SensorProvider {
   std::map<VehicleId, LegacyVehicle> legacy_;
   std::map<VehicleId, Tick> spawn_times_;
   std::vector<Duration> crossing_times_;
+  /// Exit capture for grid handoffs (see ExitRecord): appended at every exit
+  /// commit point when enabled, drained by take_exits(). Not checkpointed —
+  /// the grid drains it at every exchange boundary, so it is empty whenever
+  /// a grid checkpoint is taken.
+  std::vector<ExitRecord> exit_log_;
+  bool exit_log_enabled_{false};
   int gap_violations_{0};
   Tick stepped_until_{0};
   util::telemetry::Counter steps_counter_;

@@ -10,6 +10,15 @@
 //
 // Not a general task graph: for_each is a barrier, nested submission from
 // inside a task deadlocks by design simplicity, and tasks must not throw.
+//
+// Oversubscription policy (one level of parallelism at a time): when an
+// outer pool fans work units that each own an inner pool — sim::Grid
+// stepping one World per shard task, each World owning a step_threads pool —
+// the inner pools must be sized with nested_thread_budget() so only ONE
+// level actually spawns threads. A grid at 8 shard threads x 4 step threads
+// must run 8 workers, not 32: the inner pools collapse to inline execution
+// (thread_count() == 0), which is byte-identical by the pool contract and
+// avoids both oversubscription and the nested-submission deadlock above.
 #pragma once
 
 #include <atomic>
@@ -22,6 +31,15 @@
 #include <vector>
 
 namespace nwade::util {
+
+/// The oversubscription policy (see the header comment): the thread budget
+/// for an inner pool whose work units are fanned out by an outer pool of
+/// `outer_threads`. Once the outer level actually parallelizes
+/// (outer_threads > 1), every inner pool runs inline; a serial outer level
+/// passes the requested inner budget through unchanged.
+constexpr int nested_thread_budget(int outer_threads, int inner_threads) {
+  return outer_threads > 1 ? 1 : inner_threads;
+}
 
 class WorkerPool {
  public:

@@ -23,6 +23,20 @@ TEST(WorkerPool, InlineModeSpawnsNoThreads) {
   EXPECT_EQ(pool1.thread_count(), 0);
 }
 
+TEST(WorkerPool, NestedThreadBudgetKeepsOneLevelOfParallelism) {
+  // Oversubscription policy (worker_pool.h): a parallel outer loop forces
+  // every inner pool inline — an 8-shard grid over 4-thread worlds runs 8
+  // workers, not 32. Only a serial outer loop passes the inner budget
+  // through.
+  EXPECT_EQ(nested_thread_budget(8, 4), 1);
+  EXPECT_EQ(nested_thread_budget(2, 16), 1);
+  EXPECT_EQ(nested_thread_budget(1, 4), 4);
+  EXPECT_EQ(nested_thread_budget(0, 4), 4);
+  // An inline inner pool stays inline either way.
+  EXPECT_EQ(nested_thread_budget(8, 1), 1);
+  EXPECT_EQ(nested_thread_budget(1, 1), 1);
+}
+
 TEST(WorkerPool, EveryIndexRunsExactlyOnce) {
   for (const int threads : {0, 1, 2, 4}) {
     WorkerPool pool(threads);
