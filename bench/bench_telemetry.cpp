@@ -8,7 +8,10 @@
 //      every span site evaluates when tracing is off, against an empty-loop
 //      baseline. This is the number the "tracing off is free" claim rests
 //      on, so --smoke gates the delta at <= 1 ns/op in optimized,
-//      unsanitized builds.
+//      unsanitized builds,
+//   D. streaming overhead — the same attack scenario stepped bare and with a
+//      TelemetryStreamer emitting nwade-stream-v1 frames to an in-memory
+//      ring at a 1 s cadence, reported as total overhead and ns per frame.
 //
 // Emits BENCH_telemetry.json in the nwade-bench-v1 envelope (support.h),
 // with per-op nanosecond costs as extra top-level fields. `--smoke` shrinks
@@ -19,9 +22,13 @@
 #include <string>
 #include <vector>
 
+#include "sim/world.h"
 #include "support.h"
+#include "svc/sink.h"
+#include "svc/streamer.h"
 #include "util/telemetry.h"
 #include "util/trace.h"
+#include "util/wall_clock.h"
 
 namespace {
 
@@ -119,6 +126,53 @@ int run(const Options& opt) {
     }
   });
 
+  // --- phase D: streaming overhead -------------------------------------------
+  // The price of watching live: one attack scenario stepped to completion
+  // bare, then with a TelemetryStreamer (metrics deltas, health rows, trace
+  // frames, heartbeats) feeding an in-memory ring at a 1 s cadence. The
+  // fake wall clock keeps the streamed bytes deterministic so reps measure
+  // identical work.
+  const Duration stream_duration_ms = opt.smoke ? 10'000 : 60'000;
+  std::printf("phase D: streaming overhead, %lld ms scenario\n",
+              static_cast<long long>(stream_duration_ms));
+  const auto stream_scenario = [&] {
+    sim::ScenarioConfig cfg;
+    cfg.intersection.kind = traffic::IntersectionKind::kCross4;
+    cfg.vehicles_per_minute = 90;
+    cfg.duration_ms = stream_duration_ms;
+    cfg.seed = 11;
+    cfg.attack = protocol::AttackSetting{"V1", 1, false, 1, 0};
+    cfg.attack_time = 5'000;
+    cfg.trace_enabled = true;
+    return cfg;
+  };
+  const auto world_bare = bench::timed_median(warmup, reps, [&] {
+    sim::World world(stream_scenario());
+    world.run_until(stream_duration_ms);
+  });
+  std::uint64_t stream_frames = 0;
+  std::uint64_t stream_bytes = 0;
+  const auto world_streamed = bench::timed_median(warmup, reps, [&] {
+    sim::World world(stream_scenario());
+    util::FakeWallClock wall(1);
+    svc::StreamerConfig scfg;
+    scfg.cadence_ms = 1'000;
+    scfg.wall = &wall;
+    svc::TelemetryStreamer streamer(scfg);
+    svc::RingSink ring(1u << 20);
+    streamer.add_sink(&ring);
+    streamer.attach(world);
+    world.run_until(stream_duration_ms);
+    streamer.finish();
+    stream_frames = streamer.frames_emitted();
+    stream_bytes = ring.joined().size();
+  });
+  const double stream_overhead_ms = world_streamed.median_ms - world_bare.median_ms;
+  const double stream_ns_per_frame =
+      stream_frames > 0
+          ? stream_overhead_ms * 1e6 / static_cast<double>(stream_frames)
+          : 0;
+
   const double counter_ns = ns_per_op(counter_inc, hot_iters);
   const double gauge_ns = ns_per_op(gauge_set, hot_iters);
   const double hist_ns = ns_per_op(hist_observe, hot_iters);
@@ -136,6 +190,8 @@ int run(const Options& opt) {
       bench::json_phase("tracer_instant", instant),
       bench::json_phase("noop_baseline", baseline),
       bench::json_phase("disabled_guard", disabled_guard),
+      bench::json_phase("world_bare", world_bare),
+      bench::json_phase("world_streamed", world_streamed),
   };
   const std::vector<std::string> extra = {
       bench::json_field("hot_iterations", static_cast<double>(hot_iters), 0),
@@ -146,6 +202,12 @@ int run(const Options& opt) {
       bench::json_field("tracer_complete_ns_per_op", span_ns, 3),
       bench::json_field("tracer_instant_ns_per_op", instant_ns, 3),
       bench::json_field("disabled_guard_delta_ns_per_op", disabled_delta_ns, 3),
+      bench::json_field("stream_duration_ms",
+                        static_cast<double>(stream_duration_ms), 0),
+      bench::json_field("stream_frames", static_cast<double>(stream_frames), 0),
+      bench::json_field("stream_bytes", static_cast<double>(stream_bytes), 0),
+      bench::json_field("stream_overhead_ms", stream_overhead_ms, 3),
+      bench::json_field("stream_ns_per_frame", stream_ns_per_frame, 1),
   };
 
   const double wall_s = std::chrono::duration<double>(
@@ -172,6 +234,11 @@ int run(const Options& opt) {
   std::printf("disabled guard: %.3f ns/op over a %.3f ns/op baseline "
               "(delta %.3f ns/op)\n",
               guard_ns, baseline_ns, disabled_delta_ns);
+  std::printf("streaming: %llu frames (%llu bytes), %.3f ms over a %.3f ms "
+              "bare run (%.1f ns/frame)\n",
+              static_cast<unsigned long long>(stream_frames),
+              static_cast<unsigned long long>(stream_bytes),
+              stream_overhead_ms, world_bare.median_ms, stream_ns_per_frame);
 
   if (opt.smoke) {
     std::string back;

@@ -44,6 +44,10 @@ void usage(const char* argv0) {
       "  --attack-shard N           row-major shard the attack runs in "
       "(default 0)\n"
       "  --summary-out PATH         write the grid summary as JSON\n"
+      "  --metrics-out PATH         lattice-wide merged registry snapshot\n"
+      "  --trace-out PATH           Chrome trace_event JSON, one stream per\n"
+      "                             shard (implies tracing)\n"
+      "  --trace-jsonl-out PATH     JSONL trace (implies tracing)\n"
       "  --allow-single-core        run --threads > 1 on a 1-core host anyway\n",
       argv0);
 }
@@ -62,6 +66,9 @@ int main(int argc, char** argv) {
   cfg.attack_shard = 0;
   std::string attack = "benign";
   std::string summary_path;
+  std::string metrics_path;
+  std::string trace_path;
+  std::string trace_jsonl_path;
   bool allow_single_core = false;
 
   auto value = [&](int& i) -> const char* {
@@ -98,6 +105,12 @@ int main(int argc, char** argv) {
       cfg.attack_shard = std::atoi(value(i));
     } else if (arg == "--summary-out") {
       summary_path = value(i);
+    } else if (arg == "--metrics-out") {
+      metrics_path = value(i);
+    } else if (arg == "--trace-out") {
+      trace_path = value(i);
+    } else if (arg == "--trace-jsonl-out") {
+      trace_jsonl_path = value(i);
     } else if (arg == "--allow-single-core") {
       allow_single_core = true;
     } else if (arg == "--help" || arg == "-h") {
@@ -156,22 +169,27 @@ int main(int argc, char** argv) {
     return 3;
   }
 
-  // Preflight the output path BEFORE the run (campaign CLI contract): a
+  // Preflight every output path BEFORE the run (campaign CLI contract): a
   // typo'd directory should fail in milliseconds, not after the simulation.
   // Append mode probes writability without clobbering existing content; a
   // path the probe had to create is removed again.
-  if (!summary_path.empty()) {
-    std::FILE* probe_existing = std::fopen(summary_path.c_str(), "rb");
+  for (const std::string* path :
+       {&summary_path, &metrics_path, &trace_path, &trace_jsonl_path}) {
+    if (path->empty()) continue;
+    std::FILE* probe_existing = std::fopen(path->c_str(), "rb");
     const bool existed = probe_existing != nullptr;
     if (probe_existing) std::fclose(probe_existing);
-    std::FILE* probe = std::fopen(summary_path.c_str(), "ab");
+    std::FILE* probe = std::fopen(path->c_str(), "ab");
     if (!probe) {
-      std::fprintf(stderr, "cannot write output path %s: %s\n",
-                   summary_path.c_str(), std::strerror(errno));
+      std::fprintf(stderr, "cannot write output path %s: %s\n", path->c_str(),
+                   std::strerror(errno));
       return 1;
     }
     std::fclose(probe);
-    if (!existed) std::remove(summary_path.c_str());
+    if (!existed) std::remove(path->c_str());
+  }
+  if (!trace_path.empty() || !trace_jsonl_path.empty()) {
+    cfg.shard.trace_enabled = true;
   }
 
   std::printf(
@@ -261,6 +279,44 @@ int main(int argc, char** argv) {
       return 1;
     }
     std::printf("wrote %s\n", summary_path.c_str());
+  }
+
+  const auto write_file = [](const std::string& path,
+                             const std::string& content) {
+    std::ofstream out(path, std::ios::trunc);
+    out << content;
+    if (!out) {
+      std::fprintf(stderr, "failed to write %s\n", path.c_str());
+      return false;
+    }
+    std::printf("wrote %s\n", path.c_str());
+    return true;
+  };
+  if (!metrics_path.empty() &&
+      !write_file(metrics_path, grid.merged_metrics().json() + "\n")) {
+    return 1;
+  }
+  if (!trace_path.empty() || !trace_jsonl_path.empty()) {
+    // One stream per shard, row-major, named like the table above. take_trace
+    // drains each shard's tracer, so both exports share the single drain.
+    std::vector<std::vector<util::trace::Event>> streams;
+    std::vector<std::string> names;
+    streams.reserve(static_cast<std::size_t>(shards));
+    for (int r = 0; r < grid.rows(); ++r) {
+      for (int c = 0; c < grid.cols(); ++c) {
+        streams.push_back(grid.shard(r, c).take_trace());
+        names.push_back("shard(" + std::to_string(r) + "," +
+                        std::to_string(c) + ")");
+      }
+    }
+    if (!trace_path.empty() &&
+        !write_file(trace_path, util::trace::chrome_trace_json(streams, names))) {
+      return 1;
+    }
+    if (!trace_jsonl_path.empty() &&
+        !write_file(trace_jsonl_path, util::trace::jsonl_trace(streams))) {
+      return 1;
+    }
   }
   return 0;
 }

@@ -1,0 +1,310 @@
+// Live stream consumer: connects to a serve host (or reads a stream file)
+// and renders an nwade-stream-v1 feed as a per-shard health table plus a
+// rolling detection-event log.
+//
+//   ./build/examples/monitor --connect 127.0.0.1:7788
+//   ./build/examples/monitor --in run.stream            # post-hoc
+//   ./build/examples/monitor --in run.stream --follow   # tail a live file
+//
+// The monitor is intentionally dumb: it understands the framing and the
+// top-level fields (svc/frame.h extractors) and keeps no simulation state,
+// so it can join mid-run — serve greets late joiners with a hello plus a
+// cumulative metrics_total before live frames.
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "svc/frame.h"
+
+using namespace nwade;
+
+namespace {
+
+void usage(const char* argv0) {
+  std::printf(
+      "usage: %s (--connect HOST:PORT | --in PATH) [options]\n"
+      "  --connect HOST:PORT   read the stream from a serve host\n"
+      "  --in PATH             read the stream from a file\n"
+      "  --follow              with --in: keep reading as the file grows\n"
+      "  --max-frames N        exit after N frames (0 = until stream ends)\n"
+      "  --quiet               detection log only, no periodic tables\n",
+      argv0);
+}
+
+struct ShardRow {
+  Tick t_ms{0};
+  std::int64_t active{0}, spawned{0}, exited{0}, blacklist{0};
+  std::int64_t degraded{0}, im_crashes{0}, im_restarts{0}, gap_violations{0};
+  bool seen{false};
+};
+
+struct View {
+  std::string source;
+  int rows{0}, cols{0};
+  std::vector<ShardRow> shards;
+  std::string status_line;
+  std::deque<std::string> events;  // rolling detection log
+  std::uint64_t frames{0};
+  std::uint64_t trace_events{0};
+  Tick t_ms{0};
+  bool ended{false};
+  bool quiet{false};
+
+  void render() const {
+    std::printf("\n== t=%8lld ms  (%llu frames", static_cast<long long>(t_ms),
+                static_cast<unsigned long long>(frames));
+    if (trace_events > 0) {
+      std::printf(", %llu detection events",
+                  static_cast<unsigned long long>(trace_events));
+    }
+    std::printf(") ==\n");
+    std::printf("%-7s %-8s %-9s %-8s %-10s %-9s %-8s %-9s\n", "shard",
+                "active", "spawned", "exited", "blacklist", "degraded",
+                "crashes", "gap_viol");
+    for (std::size_t i = 0; i < shards.size(); ++i) {
+      const ShardRow& r = shards[i];
+      if (!r.seen) continue;
+      std::printf("(%d,%d)  %-8lld %-9lld %-8lld %-10lld %-9lld %-8lld "
+                  "%-9lld\n",
+                  cols > 0 ? static_cast<int>(i) / cols : 0,
+                  cols > 0 ? static_cast<int>(i) % cols : 0,
+                  static_cast<long long>(r.active),
+                  static_cast<long long>(r.spawned),
+                  static_cast<long long>(r.exited),
+                  static_cast<long long>(r.blacklist),
+                  static_cast<long long>(r.degraded),
+                  static_cast<long long>(r.im_crashes),
+                  static_cast<long long>(r.gap_violations));
+    }
+    if (!status_line.empty()) std::printf("%s\n", status_line.c_str());
+    std::fflush(stdout);
+  }
+};
+
+void handle_frame(View& v, const std::string& json) {
+  ++v.frames;
+  const std::string kind = svc::frame_str(json, "kind").value_or("");
+  if (const auto t = svc::frame_int(json, "t_ms")) v.t_ms = *t;
+  if (kind == "hello") {
+    v.source = svc::frame_str(json, "source").value_or("?");
+    v.rows = static_cast<int>(svc::frame_int(json, "rows").value_or(1));
+    v.cols = static_cast<int>(svc::frame_int(json, "cols").value_or(1));
+    v.shards.assign(
+        static_cast<std::size_t>(std::max(1, v.rows * v.cols)), ShardRow{});
+    std::printf("monitor: %s stream, %dx%d, cadence %lld ms\n",
+                v.source.c_str(), v.rows, v.cols,
+                static_cast<long long>(
+                    svc::frame_int(json, "cadence_ms").value_or(0)));
+    std::fflush(stdout);
+  } else if (kind == "health") {
+    const auto shard = svc::frame_int(json, "shard").value_or(0);
+    if (shard < 0) return;
+    if (static_cast<std::size_t>(shard) >= v.shards.size()) {
+      v.shards.resize(static_cast<std::size_t>(shard) + 1);
+    }
+    ShardRow& r = v.shards[static_cast<std::size_t>(shard)];
+    r.seen = true;
+    r.t_ms = v.t_ms;
+    r.active = svc::frame_int(json, "active").value_or(0);
+    r.spawned = svc::frame_int(json, "spawned").value_or(0);
+    r.exited = svc::frame_int(json, "exited").value_or(0);
+    r.blacklist = svc::frame_int(json, "blacklist").value_or(0);
+    r.degraded = svc::frame_int(json, "degraded").value_or(0);
+    r.im_crashes = svc::frame_int(json, "im_crashes").value_or(0);
+    r.im_restarts = svc::frame_int(json, "im_restarts").value_or(0);
+    r.gap_violations = svc::frame_int(json, "gap_violations").value_or(0);
+  } else if (kind == "status") {
+    char buf[256];
+    std::snprintf(
+        buf, sizeof(buf),
+        "handoffs %lld sent / %lld delivered, gossip %lld sent / %lld "
+        "imported, %lld retired",
+        static_cast<long long>(
+            svc::frame_int(json, "handoffs_sent").value_or(0)),
+        static_cast<long long>(
+            svc::frame_int(json, "handoffs_delivered").value_or(0)),
+        static_cast<long long>(svc::frame_int(json, "gossip_sent").value_or(0)),
+        static_cast<long long>(
+            svc::frame_int(json, "gossip_imports").value_or(0)),
+        static_cast<long long>(svc::frame_int(json, "retired").value_or(0)));
+    v.status_line = buf;
+  } else if (kind == "trace") {
+    ++v.trace_events;
+    const std::string cat = svc::frame_str(json, "cat").value_or("?");
+    const std::string name = svc::frame_str(json, "name").value_or("?");
+    char line[192];
+    std::snprintf(line, sizeof(line), "t=%8lld  shard %lld  [%s] %s",
+                  static_cast<long long>(v.t_ms),
+                  static_cast<long long>(
+                      svc::frame_int(json, "shard").value_or(0)),
+                  cat.c_str(), name.c_str());
+    v.events.emplace_back(line);
+    if (v.events.size() > 20) v.events.pop_front();
+    std::printf("%s\n", line);
+    std::fflush(stdout);
+  } else if (kind == "heartbeat") {
+    if (!v.quiet) v.render();
+  } else if (kind == "metrics_total") {
+    v.ended = true;
+  }
+  // "metrics" deltas are counted but not rendered — the health rows carry
+  // the operationally interesting numbers already decoded.
+}
+
+int run_stream(View& v, const std::function<long(char*, std::size_t)>& read_fn,
+               bool follow, std::uint64_t max_frames) {
+  svc::FrameParser parser;
+  std::string json;
+  char buf[4096];
+  for (;;) {
+    bool progressed = false;
+    while (parser.next(json)) {
+      handle_frame(v, json);
+      progressed = true;
+      if (max_frames > 0 && v.frames >= max_frames) return 0;
+    }
+    if (parser.corrupt()) {
+      std::fprintf(stderr, "monitor: corrupt stream\n");
+      return 1;
+    }
+    const long n = read_fn(buf, sizeof(buf));
+    if (n > 0) {
+      parser.feed({buf, static_cast<std::size_t>(n)});
+      continue;
+    }
+    if (n == 0) {  // EOF / peer closed
+      if (follow && !v.ended) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(100));
+        continue;
+      }
+      if (!progressed) break;
+      continue;
+    }
+    std::fprintf(stderr, "monitor: read error: %s\n", std::strerror(errno));
+    return 1;
+  }
+  if (!v.quiet || v.ended) v.render();
+  if (parser.pending() > 0) {
+    std::fprintf(stderr, "monitor: stream ended mid-frame\n");
+    return 1;
+  }
+  return v.ended || v.frames > 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string connect_spec;
+  std::string in_path;
+  bool follow = false;
+  std::uint64_t max_frames = 0;
+  View v;
+
+  auto value = [&](int& i) -> const char* {
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "missing value for %s\n", argv[i]);
+      std::exit(2);
+    }
+    return argv[++i];
+  };
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--connect") {
+      connect_spec = value(i);
+    } else if (arg == "--in") {
+      in_path = value(i);
+    } else if (arg == "--follow") {
+      follow = true;
+    } else if (arg == "--max-frames") {
+      max_frames = std::strtoull(value(i), nullptr, 10);
+    } else if (arg == "--quiet") {
+      v.quiet = true;
+    } else if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
+      usage(argv[0]);
+      return 2;
+    }
+  }
+  if (connect_spec.empty() == in_path.empty()) {
+    std::fprintf(stderr, "exactly one of --connect / --in is required\n");
+    usage(argv[0]);
+    return 2;
+  }
+
+  if (!in_path.empty()) {
+    std::FILE* f = std::fopen(in_path.c_str(), "rb");
+    if (!f) {
+      std::fprintf(stderr, "monitor: cannot open %s: %s\n", in_path.c_str(),
+                   std::strerror(errno));
+      return 1;
+    }
+    const int rc = run_stream(
+        v,
+        [f](char* buf, std::size_t n) {
+          const std::size_t got = std::fread(buf, 1, n, f);
+          if (got > 0) return static_cast<long>(got);
+          if (std::feof(f)) {
+            std::clearerr(f);  // --follow: the file may still grow
+            return 0L;
+          }
+          return -1L;
+        },
+        follow, max_frames);
+    std::fclose(f);
+    return rc;
+  }
+
+  const auto colon = connect_spec.rfind(':');
+  if (colon == std::string::npos) {
+    std::fprintf(stderr, "--connect wants HOST:PORT\n");
+    return 2;
+  }
+  const std::string host = connect_spec.substr(0, colon);
+  const int port = std::atoi(connect_spec.c_str() + colon + 1);
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    std::fprintf(stderr, "monitor: socket: %s\n", std::strerror(errno));
+    return 1;
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    std::fprintf(stderr, "monitor: bad host %s (numeric IPv4 only)\n",
+                 host.c_str());
+    ::close(fd);
+    return 2;
+  }
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    std::fprintf(stderr, "monitor: connect %s: %s\n", connect_spec.c_str(),
+                 std::strerror(errno));
+    ::close(fd);
+    return 1;
+  }
+  std::printf("monitor: connected to %s\n", connect_spec.c_str());
+  const int rc = run_stream(
+      v,
+      [fd](char* buf, std::size_t n) {
+        return static_cast<long>(::recv(fd, buf, n, 0));
+      },
+      /*follow=*/false, max_frames);
+  ::close(fd);
+  return rc;
+}

@@ -1,0 +1,431 @@
+// Resident service host (ROADMAP item 3): runs one scenario or lattice
+// continuously on an event loop and streams nwade-stream-v1 frames (metrics
+// deltas, detection-timeline trace events, per-shard health rows) to any
+// number of live monitors over TCP, to a stream file, or both.
+//
+//   # a 2x2 lattice with a V1 attacker at shard 0, streaming on :7788
+//   ./build/examples/serve --rows 2 --cols 2 --attack V1 --port 7788 --trace
+//   # then, in another terminal:
+//   ./build/examples/monitor --connect 127.0.0.1:7788
+//
+// The simulation work is identical with zero or fifty monitors attached —
+// streaming subscribes through the observational World/Grid hooks and slow
+// consumers are dropped, never waited for. With --state the host writes
+// checkpoints on the soak driver's atomic-rename discipline and, restarted
+// with the same path, resumes both the simulation AND the stream: a sidecar
+// (<state>.seq) carries the stream position, so the concatenation of frames
+// across the restart is byte-identical to an uninterrupted serve.
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "nwade/config.h"
+#include "sim/checkpoint.h"
+#include "sim/grid.h"
+#include "sim/world.h"
+#include "svc/sink.h"
+#include "svc/streamer.h"
+#include "util/wall_clock.h"
+
+using namespace nwade;
+
+namespace {
+
+void usage(const char* argv0) {
+  std::printf(
+      "usage: %s [options]\n"
+      "  --rows N / --cols N     lattice shape (default 1x1 = single world)\n"
+      "  --kind NAME             intersection layout (default cross4)\n"
+      "  --vpm X                 traffic density per shard (default 120)\n"
+      "  --duration-ms N         simulated run length (default 300000)\n"
+      "  --seed N                scenario/grid seed (default 1)\n"
+      "  --attack NAME           Table I setting (default benign)\n"
+      "  --attack-shard N        row-major shard the attack runs in "
+      "(default 0)\n"
+      "  --exchange-ms N         boundary-exchange cadence (lattice only)\n"
+      "  --threads N             shard-stepping pool (wall clock only)\n"
+      "  --trace                 enable tracing -> detection trace frames\n"
+      "  --port N                TCP stream server on 127.0.0.1:N (0 picks\n"
+      "                          an ephemeral port and prints it)\n"
+      "  --stream-out PATH       append the frame stream to a file\n"
+      "  --cadence-ms N          emission cadence in simulated ms (default\n"
+      "                          1000; multiple of step/exchange cadence)\n"
+      "  --pace X                real-time pacing: X=1 runs 1 simulated\n"
+      "                          second per wall second (default 0 = flat "
+      "out)\n"
+      "  --state PATH            checkpoint file; resumed from when present\n"
+      "  --snapshot-every-ms N   simulated time between checkpoints (default\n"
+      "                          10000; multiple of --cadence-ms)\n"
+      "  --max-snapshots N       exit 0 after N checkpoints (stage a restart\n"
+      "                          without a SIGKILL; 0 = run to completion)\n",
+      argv0);
+}
+
+bool parse_kind(const std::string& token, traffic::IntersectionKind& out) {
+  for (const auto kind : traffic::kAllIntersectionKinds) {
+    if (token == intersection_name(kind)) {
+      out = kind;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool write_file_atomic(const std::string& path, const Bytes& blob) {
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (!f) return false;
+  const bool wrote =
+      std::fwrite(blob.data(), 1, blob.size(), f) == blob.size() &&
+      std::fflush(f) == 0;
+  std::fclose(f);
+  if (!wrote) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return std::rename(tmp.c_str(), path.c_str()) == 0;
+}
+
+Bytes read_file(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (!f) return {};
+  Bytes out;
+  std::uint8_t buf[4096];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    out.insert(out.end(), buf, buf + n);
+  }
+  std::fclose(f);
+  return out;
+}
+
+/// Stream-position sidecar: "<next_seq> <frames_emitted>\n". Written with
+/// the same atomic-rename discipline as the checkpoint so the pair can only
+/// be observed consistent.
+bool write_seq_sidecar(const std::string& path, std::uint64_t seq,
+                       std::uint64_t frames) {
+  char buf[64];
+  const int n = std::snprintf(buf, sizeof(buf), "%llu %llu\n",
+                              static_cast<unsigned long long>(seq),
+                              static_cast<unsigned long long>(frames));
+  Bytes blob(buf, buf + n);
+  return write_file_atomic(path, blob);
+}
+
+bool read_seq_sidecar(const std::string& path, std::uint64_t& seq,
+                      std::uint64_t& frames) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (!f) return false;
+  unsigned long long s = 0;
+  unsigned long long fr = 0;
+  const bool ok = std::fscanf(f, "%llu %llu", &s, &fr) == 2;
+  std::fclose(f);
+  if (ok) {
+    seq = s;
+    frames = fr;
+  }
+  return ok;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int rows = 1;
+  int cols = 1;
+  sim::ScenarioConfig scenario;
+  scenario.vehicles_per_minute = 120;
+  scenario.duration_ms = 300'000;
+  scenario.attack_time = 10'000;
+  std::uint64_t seed = 1;
+  std::string attack = "benign";
+  int attack_shard = 0;
+  Duration exchange_ms = 1'000;
+  int threads = 1;
+  bool trace = false;
+  int port = -1;
+  std::string stream_path;
+  Duration cadence_ms = 1'000;
+  double pace = 0;
+  std::string state_path;
+  Duration snapshot_every_ms = 10'000;
+  int max_snapshots = 0;
+
+  auto value = [&](int& i) -> const char* {
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "missing value for %s\n", argv[i]);
+      std::exit(2);
+    }
+    return argv[++i];
+  };
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--rows") {
+      rows = std::atoi(value(i));
+    } else if (arg == "--cols") {
+      cols = std::atoi(value(i));
+    } else if (arg == "--kind") {
+      if (!parse_kind(value(i), scenario.intersection.kind)) {
+        std::fprintf(stderr, "unknown intersection kind '%s'\n", argv[i]);
+        return 2;
+      }
+    } else if (arg == "--vpm") {
+      scenario.vehicles_per_minute = std::atof(value(i));
+    } else if (arg == "--duration-ms") {
+      scenario.duration_ms = std::atol(value(i));
+    } else if (arg == "--seed") {
+      seed = std::strtoull(value(i), nullptr, 10);
+    } else if (arg == "--attack") {
+      attack = value(i);
+    } else if (arg == "--attack-shard") {
+      attack_shard = std::atoi(value(i));
+    } else if (arg == "--exchange-ms") {
+      exchange_ms = std::atol(value(i));
+    } else if (arg == "--threads") {
+      threads = std::atoi(value(i));
+    } else if (arg == "--trace") {
+      trace = true;
+    } else if (arg == "--port") {
+      port = std::atoi(value(i));
+    } else if (arg == "--stream-out") {
+      stream_path = value(i);
+    } else if (arg == "--cadence-ms") {
+      cadence_ms = std::atol(value(i));
+    } else if (arg == "--pace") {
+      pace = std::atof(value(i));
+    } else if (arg == "--state") {
+      state_path = value(i);
+    } else if (arg == "--snapshot-every-ms") {
+      snapshot_every_ms = std::atol(value(i));
+    } else if (arg == "--max-snapshots") {
+      max_snapshots = std::atoi(value(i));
+    } else if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
+      usage(argv[0]);
+      return 2;
+    }
+  }
+
+  const bool lattice = rows * cols > 1;
+  if (rows <= 0 || cols <= 0 || rows * cols > 64) {
+    std::fprintf(stderr, "--rows x --cols must be 1..64 shards\n");
+    return 2;
+  }
+  if (attack != "benign" &&
+      protocol::attack_setting_by_name(attack).name != attack) {
+    std::fprintf(stderr, "unknown Table I attack setting '%s'\n",
+                 attack.c_str());
+    return 2;
+  }
+  scenario.attack = protocol::attack_setting_by_name(attack);
+  scenario.seed = seed;
+  scenario.trace_enabled = trace;
+  const Duration lattice_step = lattice ? exchange_ms : scenario.step_ms;
+  if (cadence_ms <= 0 || cadence_ms % lattice_step != 0) {
+    std::fprintf(stderr,
+                 "--cadence-ms must be a positive multiple of %lld ms\n",
+                 static_cast<long long>(lattice_step));
+    return 2;
+  }
+  if (!state_path.empty() &&
+      (snapshot_every_ms <= 0 || snapshot_every_ms % cadence_ms != 0)) {
+    // Checkpoints must land exactly on emission points: that is what makes
+    // the restored registry the resumed stream's delta baseline.
+    std::fprintf(stderr,
+                 "--snapshot-every-ms must be a positive multiple of "
+                 "--cadence-ms\n");
+    return 2;
+  }
+
+  // Preflight the stream file path (campaign CLI contract).
+  if (!stream_path.empty()) {
+    std::FILE* probe_existing = std::fopen(stream_path.c_str(), "rb");
+    const bool existed = probe_existing != nullptr;
+    if (probe_existing) std::fclose(probe_existing);
+    std::FILE* probe = std::fopen(stream_path.c_str(), "ab");
+    if (!probe) {
+      std::fprintf(stderr, "cannot write output path %s: %s\n",
+                   stream_path.c_str(), std::strerror(errno));
+      return 1;
+    }
+    std::fclose(probe);
+    if (!existed) std::remove(stream_path.c_str());
+  }
+
+  // --- build or resume the simulation ---------------------------------------
+  std::unique_ptr<sim::World> world;
+  std::unique_ptr<sim::Grid> grid;
+  bool resumed = false;
+  if (!state_path.empty()) {
+    const Bytes saved = read_file(state_path);
+    if (!saved.empty()) {
+      std::string error;
+      if (lattice) {
+        grid = sim::Grid::checkpoint_restore(saved, threads, &error);
+      } else {
+        world = sim::World::checkpoint_restore(saved, &error);
+      }
+      if (world || grid) {
+        resumed = true;
+        std::printf("serve: resumed %s at t=%lld ms\n", state_path.c_str(),
+                    static_cast<long long>(world ? world->now()
+                                                 : grid->now()));
+      } else {
+        std::fprintf(stderr, "serve: ignoring unusable state %s (%s)\n",
+                     state_path.c_str(), error.c_str());
+      }
+    }
+  }
+  if (!world && !grid) {
+    if (lattice) {
+      sim::GridConfig cfg;
+      cfg.rows = rows;
+      cfg.cols = cols;
+      cfg.shard = scenario;
+      cfg.seed = seed;
+      cfg.exchange_every_ms = exchange_ms;
+      // Keep the default gossip cadence, rounded onto the exchange lattice.
+      cfg.gossip_every_ms =
+          exchange_ms * std::max<Duration>(1, cfg.gossip_every_ms / exchange_ms);
+      cfg.attack_shard = attack_shard;
+      cfg.grid_threads = threads;
+      grid = std::make_unique<sim::Grid>(std::move(cfg));
+    } else {
+      world = std::make_unique<sim::World>(scenario);
+    }
+  }
+  const Tick duration = world != nullptr ? world->config().duration_ms
+                                         : grid->config().shard.duration_ms;
+
+  // --- sinks and streamer ---------------------------------------------------
+  util::SystemWallClock wall;
+  svc::StreamerConfig scfg;
+  scfg.cadence_ms = cadence_ms;
+  scfg.wall = &wall;
+  svc::TelemetryStreamer streamer(scfg);
+
+  std::unique_ptr<svc::FileSink> file_sink;
+  if (!stream_path.empty()) {
+    // Append on resume: the file continues the interrupted stream.
+    file_sink = std::make_unique<svc::FileSink>(stream_path, resumed);
+    if (!file_sink->ok()) {
+      std::fprintf(stderr, "serve: cannot open %s\n", stream_path.c_str());
+      return 1;
+    }
+    streamer.add_sink(file_sink.get());
+  }
+  std::unique_ptr<svc::TcpServerSink> tcp_sink;
+  if (port >= 0) {
+    tcp_sink = std::make_unique<svc::TcpServerSink>(port);
+    if (!tcp_sink->ok()) {
+      std::fprintf(stderr, "serve: cannot listen on 127.0.0.1:%d\n", port);
+      return 1;
+    }
+    tcp_sink->set_greeting([&streamer] { return streamer.catch_up(); });
+    streamer.add_sink(tcp_sink.get());
+    std::printf("serve: streaming on 127.0.0.1:%d\n", tcp_sink->port());
+    std::fflush(stdout);
+  }
+
+  if (resumed) {
+    std::uint64_t seq = 0;
+    std::uint64_t frames = 0;
+    if (read_seq_sidecar(state_path + ".seq", seq, frames)) {
+      streamer.set_next_seq(seq);
+      streamer.set_frames_emitted(frames);
+    } else {
+      std::fprintf(stderr,
+                   "serve: %s.seq missing; stream restarts at seq 0\n",
+                   state_path.c_str());
+      resumed = false;  // no position to continue from: emit hello again
+    }
+  }
+  const bool attached = world != nullptr ? streamer.attach(*world, resumed)
+                                         : streamer.attach(*grid, resumed);
+  if (!attached) {
+    std::fprintf(stderr, "serve: cadence rejected by the source\n");
+    return 2;
+  }
+
+  // --- event loop -----------------------------------------------------------
+  const auto wall0 = std::chrono::steady_clock::now();
+  const Tick t0 = world != nullptr ? world->now() : grid->now();
+  int snapshots = 0;
+  auto now_t = [&] { return world != nullptr ? world->now() : grid->now(); };
+  while (now_t() < duration) {
+    const Tick next = std::min<Tick>(now_t() + cadence_ms, duration);
+    if (world != nullptr) {
+      world->run_until(next);
+    } else {
+      grid->run_until(next);
+    }
+    if (tcp_sink) tcp_sink->pump();
+    if (pace > 0) {
+      // Sleep until the wall clock catches up with simulated progress.
+      const auto target =
+          wall0 + std::chrono::milliseconds(static_cast<std::int64_t>(
+                      static_cast<double>(now_t() - t0) / pace));
+      std::this_thread::sleep_until(target);
+      if (tcp_sink) tcp_sink->pump();
+    }
+    if (!state_path.empty() && now_t() < duration &&
+        now_t() % snapshot_every_ms == 0) {
+      const Bytes blob = world != nullptr ? world->checkpoint_save()
+                                          : grid->checkpoint_save();
+      if (!write_file_atomic(state_path, blob) ||
+          !write_seq_sidecar(state_path + ".seq", streamer.next_seq(),
+                             streamer.frames_emitted())) {
+        std::fprintf(stderr, "serve: cannot write state file %s\n",
+                     state_path.c_str());
+        return 1;
+      }
+      ++snapshots;
+      std::printf("serve: snapshot %d at t=%lld ms (%zu bytes, seq %llu)\n",
+                  snapshots, static_cast<long long>(now_t()), blob.size(),
+                  static_cast<unsigned long long>(streamer.next_seq()));
+      std::fflush(stdout);
+      if (max_snapshots > 0 && snapshots >= max_snapshots) {
+        std::printf("serve: pausing after %d snapshot(s); rerun to resume\n",
+                    snapshots);
+        return 0;
+      }
+    }
+  }
+
+  streamer.finish();
+  if (tcp_sink) tcp_sink->pump();
+
+  if (world != nullptr) {
+    const sim::RunSummary s = world->summary();
+    std::printf("serve: done at t=%lld ms, %d spawned, %d exited, "
+                "%llu frames streamed\n",
+                static_cast<long long>(world->now()),
+                s.metrics.vehicles_spawned, s.metrics.vehicles_exited,
+                static_cast<unsigned long long>(streamer.frames_emitted()));
+    std::printf("final digest: %s\n",
+                sim::checkpoint::run_summary_digest(s).c_str());
+  } else {
+    const sim::GridSummary s = grid->summary();
+    std::printf("serve: done at t=%lld ms, %llu handoffs delivered, "
+                "%llu frames streamed\n",
+                static_cast<long long>(grid->now()),
+                static_cast<unsigned long long>(s.handoffs_delivered),
+                static_cast<unsigned long long>(streamer.frames_emitted()));
+    std::printf("final digest: %s\n", sim::Grid::summary_digest(s).c_str());
+  }
+  if (tcp_sink) {
+    std::printf("serve: %llu monitor(s) served, %llu dropped\n",
+                static_cast<unsigned long long>(tcp_sink->clients_accepted()),
+                static_cast<unsigned long long>(tcp_sink->clients_dropped()));
+  }
+  return 0;
+}

@@ -47,7 +47,11 @@ void usage(const char* argv0) {
       "  --record-bundle PATH   on completion, write a replay bundle of the\n"
       "                         whole run with its final digest\n"
       "  --replay-out PATH      bundle dumped on invariant violation\n"
-      "                         (default soak-replay.bin)\n",
+      "                         (default soak-replay.bin)\n"
+      "  --metrics-out PATH     final registry snapshot as JSON\n"
+      "  --trace-out PATH       Chrome trace_event JSON (implies tracing;\n"
+      "                         a resumed run records from the resume point)\n"
+      "  --trace-jsonl-out PATH JSONL trace (implies tracing)\n",
       argv0);
 }
 
@@ -112,6 +116,9 @@ int main(int argc, char** argv) {
   std::string state_path = "soak.ckpt";
   std::string replay_path = "soak-replay.bin";
   std::string record_bundle_path;
+  std::string metrics_path;
+  std::string trace_path;
+  std::string trace_jsonl_path;
   Duration snapshot_every_ms = 10'000;
   int max_snapshots = 0;
 
@@ -154,6 +161,12 @@ int main(int argc, char** argv) {
       record_bundle_path = value(i);
     } else if (arg == "--replay-out") {
       replay_path = value(i);
+    } else if (arg == "--metrics-out") {
+      metrics_path = value(i);
+    } else if (arg == "--trace-out") {
+      trace_path = value(i);
+    } else if (arg == "--trace-jsonl-out") {
+      trace_jsonl_path = value(i);
     } else if (arg == "--help" || arg == "-h") {
       usage(argv[0]);
       return 0;
@@ -172,6 +185,28 @@ int main(int argc, char** argv) {
     scenario.network.fault = net::burst_loss_profile(0.05, 4.0);
     scenario.network.fault.jitter_ms = 20;
     scenario.network.fault.duplicate_probability = 0.02;
+  }
+  const bool want_trace = !trace_path.empty() || !trace_jsonl_path.empty();
+  if (want_trace) scenario.trace_enabled = true;
+
+  // Preflight every export path BEFORE the run (campaign CLI contract): a
+  // typo'd directory should fail in milliseconds, not after a long soak.
+  // Append mode probes writability without clobbering existing content; a
+  // path the probe had to create is removed again.
+  for (const std::string* path :
+       {&metrics_path, &trace_path, &trace_jsonl_path}) {
+    if (path->empty()) continue;
+    std::FILE* probe_existing = std::fopen(path->c_str(), "rb");
+    const bool existed = probe_existing != nullptr;
+    if (probe_existing) std::fclose(probe_existing);
+    std::FILE* probe = std::fopen(path->c_str(), "ab");
+    if (!probe) {
+      std::fprintf(stderr, "cannot write output path %s: %s\n", path->c_str(),
+                   std::strerror(errno));
+      return 1;
+    }
+    std::fclose(probe);
+    if (!existed) std::remove(path->c_str());
   }
 
   // Resume from the state file when it holds a valid checkpoint; any other
@@ -203,6 +238,10 @@ int main(int argc, char** argv) {
   // checkpoint; re-read it so a rerun needs no scenario flags at all.
   scenario = world->config();
   const Tick duration = scenario.duration_ms;
+  // The checkpoint's config governs tracing, so a resumed world may have it
+  // off even when this process was asked for a trace export; switch the
+  // tracer on from here onward (the export covers resume point to finish).
+  if (want_trace) world->tracer().set_enabled(true);
   int snapshots = 0;
   while (world->now() < duration) {
     const Tick next = std::min<Tick>(world->now() + snapshot_every_ms, duration);
@@ -253,6 +292,32 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(summary.metrics.vehicles_spawned),
               static_cast<unsigned long long>(summary.metrics.vehicles_exited));
   std::printf("final digest: %s\n", digest.c_str());
+
+  const auto write_text = [](const std::string& path,
+                             const std::string& content) {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    if (f == nullptr ||
+        std::fwrite(content.data(), 1, content.size(), f) != content.size()) {
+      if (f != nullptr) std::fclose(f);
+      std::fprintf(stderr, "soak: cannot write %s\n", path.c_str());
+      return false;
+    }
+    std::fclose(f);
+    std::printf("wrote %s\n", path.c_str());
+    return true;
+  };
+  if (!metrics_path.empty() &&
+      !write_text(metrics_path, summary.metrics_snapshot.json() + "\n")) {
+    return 1;
+  }
+  if (!trace_path.empty() &&
+      !write_text(trace_path, world->tracer().chrome_json())) {
+    return 1;
+  }
+  if (!trace_jsonl_path.empty() &&
+      !write_text(trace_jsonl_path, world->tracer().jsonl())) {
+    return 1;
+  }
 
   if (!record_bundle_path.empty()) {
     sim::checkpoint::ReplayBundle bundle;

@@ -149,7 +149,10 @@ void Grid::run_until(Tick t) {
     pool_.for_each(shards_.size(),
                    [&](std::size_t i) { shards_[i]->run_until(step_to); });
     now_ = step_to;
-    if (now_ == boundary) exchange(now_);
+    if (now_ == boundary) {
+      exchange(now_);
+      if (exchange_listener_) exchange_listener_(now_);
+    }
   }
 }
 
@@ -301,6 +304,12 @@ GridSummary Grid::summary() const {
   s.gossip_imports = gossip_imports_;
   s.retired = retired_boundary_ + retired_hops_ + retired_revisit_;
   return s;
+}
+
+util::telemetry::MetricsSnapshot Grid::merged_metrics() const {
+  util::telemetry::MetricsSnapshot m;
+  for (const auto& w : shards_) m.merge(w->summary().metrics_snapshot);
+  return m;
 }
 
 std::string Grid::summary_digest(const GridSummary& s) {

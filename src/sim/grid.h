@@ -24,6 +24,7 @@
 
 #include <array>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -99,6 +100,19 @@ class Grid {
   /// per-shard run_summary_digests plus the exchange counters. Byte-equal
   /// across grid_threads values and across checkpoint/restore.
   static std::string summary_digest(const GridSummary& s);
+  /// One MetricsSnapshot for the whole lattice: the shard snapshots folded
+  /// in row-major order (counters/histograms add, gauges last-writer-wins —
+  /// MetricsSnapshot::merge). Shard snapshots are thread-schedule
+  /// independent and the fold order is fixed, so the result is byte-equal
+  /// across grid_threads values.
+  util::telemetry::MetricsSnapshot merged_metrics() const;
+  /// Observational hook, called at every exchange boundary crossed by
+  /// run_until, after the exchange completes — the only instants where the
+  /// lattice is globally consistent regardless of call slicing. Runs on the
+  /// calling thread (all shards quiescent). Not checkpointed.
+  void set_exchange_listener(std::function<void(Tick)> fn) {
+    exchange_listener_ = std::move(fn);
+  }
 
   Tick now() const { return now_; }
   int rows() const { return config_.rows; }
@@ -182,6 +196,7 @@ class Grid {
   std::vector<std::array<int, 4>> edge_by_exit_;
   std::map<VehicleId, Roam> roam_;
   Tick now_{0};
+  std::function<void(Tick)> exchange_listener_;
 
   std::uint64_t handoffs_delivered_{0};
   std::uint64_t gossip_imports_{0};

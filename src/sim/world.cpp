@@ -742,6 +742,7 @@ void World::run_until(Tick t) {
     }
     step_world(stepped_until_);
     steps_counter_.inc();
+    if (step_listener_) step_listener_(stepped_until_);
   }
 }
 

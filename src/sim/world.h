@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <unordered_set>
@@ -236,6 +237,16 @@ class World final : public protocol::SensorProvider {
   util::trace::Tracer& tracer() { return tracer_; }
   /// Moves the recorded trace events out (campaigns collect per-cell traces).
   std::vector<util::trace::Event> take_trace() { return tracer_.take(); }
+  /// Observational hook, called after every completed step with the new
+  /// simulated time. Steps land on the fixed step_ms lattice regardless of
+  /// how callers slice run_until, so the call schedule — and anything a
+  /// listener derives from world state — is independent of slicing and
+  /// thread counts. The listener runs on the stepping thread and is not
+  /// checkpointed; never attach one to a shard inside a Grid (shards step on
+  /// pool threads — subscribe at the Grid instead).
+  void set_step_listener(std::function<void(Tick)> fn) {
+    step_listener_ = std::move(fn);
+  }
   const net::Network& network() const { return *network_; }
   const traffic::Intersection& intersection() const { return intersection_; }
   protocol::VehicleNode* vehicle(VehicleId id);
@@ -323,6 +334,7 @@ class World final : public protocol::SensorProvider {
   int gap_violations_{0};
   Tick stepped_until_{0};
   util::telemetry::Counter steps_counter_;
+  std::function<void(Tick)> step_listener_;
 
   /// Per-run signature-verification cache, injected into every vehicle's
   /// verifier. Campaign runs step many worlds concurrently; scoping the

@@ -1,0 +1,152 @@
+#include "svc/sink.h"
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace nwade::svc {
+
+void RingSink::write(std::string_view frame) {
+  if (max_frames_ == 0) return;
+  if (frames_.size() == max_frames_) {
+    frames_.pop_front();
+    ++dropped_;
+  }
+  frames_.emplace_back(frame);
+}
+
+std::string RingSink::joined() const {
+  std::size_t total = 0;
+  for (const auto& f : frames_) total += f.size();
+  std::string out;
+  out.reserve(total);
+  for (const auto& f : frames_) out += f;
+  return out;
+}
+
+FileSink::FileSink(const std::string& path, bool append) {
+  f_ = std::fopen(path.c_str(), append ? "ab" : "wb");
+}
+
+FileSink::~FileSink() {
+  if (f_ != nullptr) std::fclose(f_);
+}
+
+void FileSink::write(std::string_view frame) {
+  if (f_ == nullptr) return;
+  std::fwrite(frame.data(), 1, frame.size(), f_);
+  std::fflush(f_);
+}
+
+void FileSink::flush() {
+  if (f_ != nullptr) std::fflush(f_);
+}
+
+namespace {
+
+bool set_nonblocking(int fd) {
+  const int flags = fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+}  // namespace
+
+TcpServerSink::TcpServerSink(int port, std::size_t max_backlog_bytes)
+    : max_backlog_bytes_(max_backlog_bytes) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return;
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      ::listen(fd, 8) != 0 || !set_nonblocking(fd)) {
+    ::close(fd);
+    return;
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) == 0) {
+    port_ = ntohs(bound.sin_port);
+  }
+  listen_fd_ = fd;
+}
+
+TcpServerSink::~TcpServerSink() {
+  for (auto& c : clients_) ::close(c.fd);
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+}
+
+void TcpServerSink::set_greeting(std::function<std::string()> greeting) {
+  greeting_ = std::move(greeting);
+}
+
+void TcpServerSink::accept_pending() {
+  if (listen_fd_ < 0) return;
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) break;  // EAGAIN/EWOULDBLOCK: nothing pending
+    if (!set_nonblocking(fd)) {
+      ::close(fd);
+      continue;
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    Client c;
+    c.fd = fd;
+    ++accepted_;
+    bool alive = true;
+    if (greeting_) alive = push_to(c, greeting_());
+    if (alive) {
+      clients_.push_back(std::move(c));
+    } else {
+      ::close(c.fd);
+      ++dropped_;
+    }
+  }
+}
+
+bool TcpServerSink::push_to(Client& c, std::string_view bytes) {
+  c.backlog.append(bytes.data(), bytes.size());
+  while (!c.backlog.empty()) {
+    const ssize_t n =
+        ::send(c.fd, c.backlog.data(), c.backlog.size(), MSG_NOSIGNAL);
+    if (n > 0) {
+      c.backlog.erase(0, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    return false;  // peer closed or hard error
+  }
+  return c.backlog.size() <= max_backlog_bytes_;
+}
+
+void TcpServerSink::drop(std::size_t idx) {
+  ::close(clients_[idx].fd);
+  clients_.erase(clients_.begin() + static_cast<std::ptrdiff_t>(idx));
+  ++dropped_;
+}
+
+void TcpServerSink::write(std::string_view frame) {
+  accept_pending();
+  for (std::size_t i = clients_.size(); i-- > 0;) {
+    if (!push_to(clients_[i], frame)) drop(i);
+  }
+}
+
+void TcpServerSink::pump() {
+  accept_pending();
+  for (std::size_t i = clients_.size(); i-- > 0;) {
+    if (!push_to(clients_[i], std::string_view{})) drop(i);
+  }
+}
+
+}  // namespace nwade::svc

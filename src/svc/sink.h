@@ -1,0 +1,123 @@
+// Stream sinks: where encoded nwade-stream-v1 frames go.
+//
+// A sink receives fully framed bytes (`encode_frame` output) and is never
+// consulted about content — the TelemetryStreamer renders identical bytes no
+// matter which sinks are attached, which is what lets one test assert ring
+// bytes equal file bytes equal socket bytes. Sinks are synchronous and run
+// on the stepping thread; slow consumers are handled by bounding (ring
+// capacity, per-client backlog) and dropping, never by blocking the
+// simulation (docs/OBSERVABILITY.md, backpressure).
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <deque>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace nwade::svc {
+
+/// One frame in, synchronously. Implementations must not block indefinitely.
+class StreamSink {
+ public:
+  virtual ~StreamSink() = default;
+  virtual void write(std::string_view frame) = 0;
+  virtual void flush() {}
+};
+
+/// Bounded in-memory ring of whole frames; the oldest frame is dropped when
+/// full. The default sink for tests (byte-comparisons) and for serve's
+/// late-joiner catch-up buffer.
+class RingSink final : public StreamSink {
+ public:
+  explicit RingSink(std::size_t max_frames = 4096) : max_frames_(max_frames) {}
+
+  void write(std::string_view frame) override;
+
+  const std::deque<std::string>& frames() const { return frames_; }
+  /// All retained frames concatenated — the raw stream bytes.
+  std::string joined() const;
+  std::uint64_t dropped() const { return dropped_; }
+  void clear() { frames_.clear(); }
+
+ private:
+  std::size_t max_frames_;
+  std::deque<std::string> frames_;
+  std::uint64_t dropped_{0};
+};
+
+/// Appends frames to a file, flushing after each so `tail -f` and a
+/// monitor's --in reader see whole frames promptly.
+class FileSink final : public StreamSink {
+ public:
+  /// Truncates by default; append=true continues an existing stream file
+  /// (serve resuming from a checkpoint).
+  explicit FileSink(const std::string& path, bool append = false);
+  ~FileSink() override;
+  FileSink(const FileSink&) = delete;
+  FileSink& operator=(const FileSink&) = delete;
+
+  bool ok() const { return f_ != nullptr; }
+  void write(std::string_view frame) override;
+  void flush() override;
+
+ private:
+  std::FILE* f_{nullptr};
+};
+
+/// Non-blocking single-threaded TCP broadcast server. write() fans the frame
+/// out to every connected client; accept/flush progress happens inside
+/// write() and pump() — there is no background thread, so determinism of the
+/// simulation is untouched and serve's event loop stays the only loop.
+///
+/// Backpressure: bytes a client's socket will not take are buffered up to
+/// `max_backlog_bytes`; past that the client is dropped (counted), because a
+/// stalled monitor must never stall the simulation or other monitors.
+class TcpServerSink final : public StreamSink {
+ public:
+  /// Listens on 127.0.0.1:port (port 0 picks an ephemeral port — read it
+  /// back with port()). ok() false when binding failed.
+  explicit TcpServerSink(int port, std::size_t max_backlog_bytes = 4u << 20);
+  ~TcpServerSink() override;
+  TcpServerSink(const TcpServerSink&) = delete;
+  TcpServerSink& operator=(const TcpServerSink&) = delete;
+
+  bool ok() const { return listen_fd_ >= 0; }
+  int port() const { return port_; }
+
+  /// Called once per newly accepted client to produce catch-up bytes (a
+  /// hello frame plus a metrics_total snapshot) sent before live frames.
+  void set_greeting(std::function<std::string()> greeting);
+
+  void write(std::string_view frame) override;
+  /// Accepts pending connections and drains client backlogs without a new
+  /// frame — serve calls this between simulation slices.
+  void pump();
+
+  int client_count() const { return static_cast<int>(clients_.size()); }
+  std::uint64_t clients_accepted() const { return accepted_; }
+  std::uint64_t clients_dropped() const { return dropped_; }
+
+ private:
+  struct Client {
+    int fd{-1};
+    std::string backlog;  // bytes accepted from the streamer, not yet sent
+  };
+
+  void accept_pending();
+  /// Returns false when the client must be dropped (error or over backlog).
+  bool push_to(Client& c, std::string_view bytes);
+  void drop(std::size_t idx);
+
+  int listen_fd_{-1};
+  int port_{0};
+  std::size_t max_backlog_bytes_;
+  std::function<std::string()> greeting_;
+  std::vector<Client> clients_;
+  std::uint64_t accepted_{0};
+  std::uint64_t dropped_{0};
+};
+
+}  // namespace nwade::svc

@@ -186,6 +186,29 @@ void Registry::restore(const MetricsSnapshot& snap) {
   }
 }
 
+std::int64_t MetricsSnapshot::HistogramData::quantile_upper_edge(
+    int percent) const {
+  // Total of the bucketed counts (defensive: trust the buckets over `count`
+  // after a shape-mismatched merge folded scalar totals without buckets).
+  std::int64_t total = 0;
+  for (const std::int64_t c : bucket_counts) total += c;
+  if (total <= 0 || percent <= 0) return -1;
+  // 1-based rank of the requested percentile, ceil'd so p99 of 100
+  // observations is the 99th, not the 98.01st truncated to the 98th.
+  const std::int64_t rank =
+      (total * static_cast<std::int64_t>(percent) + 99) / 100;
+  std::int64_t seen = 0;
+  for (std::size_t i = 0; i < bucket_counts.size(); ++i) {
+    seen += bucket_counts[i];
+    if (seen >= rank) {
+      // Past the last edge lies the +inf overflow bucket: the percentile is
+      // only known to exceed the largest finite edge.
+      return i < upper_edges.size() ? upper_edges[i] : -1;
+    }
+  }
+  return -1;
+}
+
 namespace {
 
 void append_escaped(std::string& out, const std::string& s) {
@@ -221,6 +244,27 @@ void append_int_array(std::string& out, const std::vector<std::int64_t>& xs) {
   out += "]";
 }
 
+void append_histogram(std::string& o,
+                      const MetricsSnapshot::HistogramData& h) {
+  o += "{\"upper_edges\": ";
+  append_int_array(o, h.upper_edges);
+  o += ", \"bucket_counts\": ";
+  append_int_array(o, h.bucket_counts);
+  o += ", \"count\": ";
+  append_int(o, h.count);
+  o += ", \"sum\": ";
+  append_int(o, h.sum);
+  // Integer-math percentile summary rows (bucket upper edges, -1 = empty or
+  // overflow) so latency histograms read directly in frames and reports.
+  o += ", \"p50\": ";
+  append_int(o, h.quantile_upper_edge(50));
+  o += ", \"p90\": ";
+  append_int(o, h.quantile_upper_edge(90));
+  o += ", \"p99\": ";
+  append_int(o, h.quantile_upper_edge(99));
+  o += "}";
+}
+
 template <typename Map, typename AppendValue>
 void append_section(std::string& out, const char* title, const Map& map,
                     const std::string& pad, AppendValue&& append_value) {
@@ -250,16 +294,8 @@ std::string MetricsSnapshot::json(const std::string& indent) const {
                  [](std::string& o, std::int64_t v) { append_int(o, v); });
   out += ",\n";
   append_section(out, "histograms", histograms, pad + "  ",
-                 [&pad](std::string& o, const HistogramData& h) {
-                   o += "{\"upper_edges\": ";
-                   append_int_array(o, h.upper_edges);
-                   o += ", \"bucket_counts\": ";
-                   append_int_array(o, h.bucket_counts);
-                   o += ", \"count\": ";
-                   append_int(o, h.count);
-                   o += ", \"sum\": ";
-                   append_int(o, h.sum);
-                   o += "}";
+                 [](std::string& o, const HistogramData& h) {
+                   append_histogram(o, h);
                  });
   out += "\n" + pad + "}";
   return out;
@@ -289,15 +325,7 @@ std::string MetricsSnapshot::json_compact() const {
   out += ", ";
   append_compact_section(out, "histograms", histograms,
                          [](std::string& o, const HistogramData& h) {
-                           o += "{\"upper_edges\": ";
-                           append_int_array(o, h.upper_edges);
-                           o += ", \"bucket_counts\": ";
-                           append_int_array(o, h.bucket_counts);
-                           o += ", \"count\": ";
-                           append_int(o, h.count);
-                           o += ", \"sum\": ";
-                           append_int(o, h.sum);
-                           o += "}";
+                           append_histogram(o, h);
                          });
   out += "}";
   return out;
@@ -328,6 +356,51 @@ void MetricsSnapshot::merge(const MetricsSnapshot& other) {
     mine.count += h.count;
     mine.sum += h.sum;
   }
+}
+
+MetricsSnapshot MetricsSnapshot::diff(const MetricsSnapshot& prev) const {
+  MetricsSnapshot d;
+  for (const auto& [name, v] : counters) {
+    const auto it = prev.counters.find(name);
+    // A name the receiver has never seen is a change even at value 0 —
+    // merge must reproduce this snapshot key-for-key, not just value-wise.
+    if (it == prev.counters.end() || it->second != v) {
+      d.counters[name] = v - (it != prev.counters.end() ? it->second : 0);
+    }
+  }
+  for (const auto& [name, v] : gauges) {
+    const auto it = prev.gauges.find(name);
+    // A gauge that was never seen before is a change even at value 0: the
+    // receiver must learn the name exists (merge is last-writer-wins, so the
+    // absolute value rides along unchanged).
+    if (it == prev.gauges.end() || it->second != v) d.gauges[name] = v;
+  }
+  for (const auto& [name, h] : histograms) {
+    const auto it = prev.histograms.find(name);
+    if (it == prev.histograms.end() || it->second.upper_edges != h.upper_edges) {
+      // New histogram, or a shape change (possible across a registry
+      // restore): a bucket-wise delta is meaningless, carry it whole.
+      d.histograms[name] = h;
+      continue;
+    }
+    const HistogramData& base = it->second;
+    if (h.count == base.count && h.sum == base.sum &&
+        h.bucket_counts == base.bucket_counts) {
+      continue;
+    }
+    HistogramData delta;
+    delta.upper_edges = h.upper_edges;
+    delta.bucket_counts.resize(h.bucket_counts.size(), 0);
+    for (std::size_t i = 0; i < h.bucket_counts.size(); ++i) {
+      const std::int64_t b =
+          i < base.bucket_counts.size() ? base.bucket_counts[i] : 0;
+      delta.bucket_counts[i] = h.bucket_counts[i] - b;
+    }
+    delta.count = h.count - base.count;
+    delta.sum = h.sum - base.sum;
+    d.histograms[name] = std::move(delta);
+  }
+  return d;
 }
 
 void fold_alloc_stats(Registry& r) {

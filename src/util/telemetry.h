@@ -155,6 +155,14 @@ struct MetricsSnapshot {
     std::vector<std::int64_t> bucket_counts;  // edges + overflow
     std::int64_t count{0};
     std::int64_t sum{0};
+
+    /// Upper bucket edge containing the `percent`-th percentile observation
+    /// (rank = ceil(count * percent / 100), 1-based over the bucketed
+    /// counts). Integer math only, so the summary is exactly as
+    /// deterministic as the buckets it reads. Returns -1 for an empty
+    /// histogram and for ranks landing in the +inf overflow bucket (the
+    /// value is only known to exceed the last edge).
+    std::int64_t quantile_upper_edge(int percent) const;
   };
   std::map<std::string, HistogramData> histograms;
 
@@ -169,6 +177,14 @@ struct MetricsSnapshot {
   /// Merges `other` into this: counters/histograms add, gauges take the
   /// other's value when present (last writer wins, mirroring Gauge::set).
   void merge(const MetricsSnapshot& other);
+  /// The change from `prev` to this snapshot, shaped so that
+  /// `prev.merge(diff)` reproduces this snapshot exactly: counters and
+  /// histogram buckets carry deltas, gauges carry their new value. Entries
+  /// that did not change are omitted entirely — the property the streaming
+  /// plane's small-frames claim rests on (docs/OBSERVABILITY.md). A
+  /// histogram whose bucket shape changed (registry re-created across a
+  /// restore) is carried whole.
+  MetricsSnapshot diff(const MetricsSnapshot& prev) const;
 };
 
 /// A metrics registry. `process()` is the process-wide instance; Worlds own

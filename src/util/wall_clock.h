@@ -1,0 +1,51 @@
+// Wall-clock abstraction for time-driven streaming code.
+//
+// Everything simulated runs on net::SimClock ticks and stays deterministic;
+// the only place host time legitimately leaks into an export is a streaming
+// heartbeat ("is the resident process alive?"). Code that needs such a stamp
+// takes a WallClock* so tests can substitute FakeWallClock — a movable clock
+// in the Thalamus mold — and the emitted bytes become a pure function of the
+// run. The streamer's determinism contract (docs/OBSERVABILITY.md) is stated
+// against exactly this substitution.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace nwade::util {
+
+/// Source of host time in microseconds. Implementations must be monotonic
+/// (never run backwards) but need not start anywhere meaningful.
+class WallClock {
+ public:
+  virtual ~WallClock() = default;
+  virtual std::int64_t now_us() = 0;
+};
+
+/// The real thing: std::chrono::steady_clock since process start.
+class SystemWallClock final : public WallClock {
+ public:
+  std::int64_t now_us() override {
+    const auto d = std::chrono::steady_clock::now() - origin_;
+    return std::chrono::duration_cast<std::chrono::microseconds>(d).count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point origin_{
+      std::chrono::steady_clock::now()};
+};
+
+/// A clock tests move by hand. Deterministic: two runs that advance it
+/// identically read identical stamps, so streamed frames compare byte-equal.
+class FakeWallClock final : public WallClock {
+ public:
+  explicit FakeWallClock(std::int64_t start_us = 0) : now_us_(start_us) {}
+  std::int64_t now_us() override { return now_us_; }
+  void advance_us(std::int64_t delta_us) { now_us_ += delta_us; }
+  void set_us(std::int64_t t_us) { now_us_ = t_us; }
+
+ private:
+  std::int64_t now_us_;
+};
+
+}  // namespace nwade::util

@@ -1,0 +1,92 @@
+#!/usr/bin/env bash
+# serve/monitor CLI smoke (ctest label: obs): the streaming plane end to end.
+#
+#   1. File stream: serve a short attack scenario to a stream file; the
+#      monitor replays it, sees the detection timeline, and exits 0. Two
+#      serves of the same scenario must write byte-identical streams apart
+#      from the heartbeat wall stamps (checked by stripping heartbeats).
+#   2. TCP stream: serve on an ephemeral-ish port, attach a live monitor,
+#      and check it renders frames.
+#   3. Checkpointed restart: serve with --state and --max-snapshots 1 in a
+#      staged loop (soak_smoke's discipline); the appended stream file of
+#      the restarted runs must equal the uninterrupted reference stream,
+#      heartbeats stripped — the stream survives restarts without a seam.
+#
+# usage: serve_monitor_test.sh SERVE_BINARY MONITOR_BINARY
+set -u
+
+SERVE="$1"
+MONITOR="$2"
+
+SCENARIO=(--duration-ms 20000 --vpm 60 --seed 9 --attack V1 --trace
+          --cadence-ms 1000)
+
+tmpdir="$(mktemp -d)"
+trap 'rm -rf "$tmpdir"' EXIT
+cd "$tmpdir"
+
+fail() {
+  echo "serve_monitor: FAIL: $*" >&2
+  exit 1
+}
+
+# Frames are length-prefixed JSONL: dropping the length lines and the
+# heartbeat frames (the only wall-clock-bearing ones) leaves a deterministic
+# transcript comparable across runs.
+strip_heartbeats() {
+  grep -a '^{' "$1" | grep -av '"kind": "heartbeat"'
+}
+
+# --- 1. file stream + monitor replay ---------------------------------------
+"$SERVE" "${SCENARIO[@]}" --stream-out a.stream > serve_a.log 2>&1 \
+  || fail "file-stream serve exited $?"
+[ -s a.stream ] || fail "serve wrote no stream"
+"$MONITOR" --in a.stream --quiet > monitor_a.log 2>&1 \
+  || fail "monitor replay exited $?"
+grep -q 'incident_report' monitor_a.log \
+  || fail "monitor saw no detection timeline"
+grep -q '== t=' monitor_a.log || fail "monitor rendered no table"
+
+"$SERVE" "${SCENARIO[@]}" --stream-out b.stream > serve_b.log 2>&1 \
+  || fail "second serve exited $?"
+strip_heartbeats a.stream > a.frames
+strip_heartbeats b.stream > b.frames
+cmp -s a.frames b.frames \
+  || fail "two serves of one scenario streamed different frames"
+
+# --- 2. live TCP stream -----------------------------------------------------
+# Ephemeral port: serve prints the port it bound; pace the run so the
+# monitor has time to attach.
+"$SERVE" "${SCENARIO[@]}" --port 0 --pace 8 > serve_tcp.log 2>&1 &
+serve_pid=$!
+port=""
+for _ in $(seq 1 200); do
+  port="$(sed -n 's/^serve: streaming on 127.0.0.1:\([0-9]*\)$/\1/p' serve_tcp.log)"
+  [ -n "$port" ] && break
+  sleep 0.02
+done
+[ -n "$port" ] || { kill "$serve_pid" 2>/dev/null; fail "serve never printed its port"; }
+"$MONITOR" --connect "127.0.0.1:$port" --quiet --max-frames 30 \
+  > monitor_tcp.log 2>&1 || { kill "$serve_pid" 2>/dev/null; fail "tcp monitor exited $?"; }
+grep -q 'monitor: .* stream' monitor_tcp.log \
+  || { kill "$serve_pid" 2>/dev/null; fail "tcp monitor saw no hello"; }
+kill "$serve_pid" 2>/dev/null
+wait "$serve_pid" 2>/dev/null
+
+# --- 3. checkpointed restart continues the stream ---------------------------
+runs=0
+while : ; do
+  runs=$((runs + 1))
+  [ "$runs" -le 20 ] || fail "staged serve never completed"
+  "$SERVE" "${SCENARIO[@]}" --state staged.ckpt --snapshot-every-ms 5000 \
+    --max-snapshots 1 --stream-out staged.stream > staged.log 2>&1 \
+    || fail "staged serve $runs exited $?"
+  grep -q '^final digest: ' staged.log && break
+done
+[ "$runs" -ge 3 ] || fail "staged loop finished in $runs runs; expected >= 3 restarts"
+grep -q '^serve: resumed ' staged.log || fail "staged serve never resumed"
+strip_heartbeats staged.stream > staged.frames
+cmp -s staged.frames a.frames \
+  || fail "restarted stream differs from the uninterrupted reference"
+
+echo "serve_monitor: OK ($runs staged runs, port $port)"

@@ -60,6 +60,37 @@ TEST(GridParallel, FourByFourDigestByteIdenticalAcrossThreadCounts) {
   }
 }
 
+TEST(GridParallel, MergedMetricsByteIdenticalAcrossThreadCountsAndEqualsFold) {
+  std::string reference;
+  for (const int threads : {1, 2, 4, 8}) {
+    GridConfig cfg = lattice(2, threads);
+    cfg.shard.duration_ms = 20'000;
+    Grid grid(cfg);
+    grid.run_until(cfg.shard.duration_ms);
+    const std::string merged_json = grid.merged_metrics().json();
+    if (threads == 1) {
+      reference = merged_json;
+      ASSERT_FALSE(reference.empty());
+      // The lattice-wide snapshot must be exactly the row-major fold of the
+      // per-shard summary snapshots — same merge the campaign engine uses.
+      util::telemetry::MetricsSnapshot fold;
+      for (int r = 0; r < grid.rows(); ++r) {
+        for (int c = 0; c < grid.cols(); ++c) {
+          fold.merge(grid.shard(r, c).summary().metrics_snapshot);
+        }
+      }
+      EXPECT_EQ(fold.json(), merged_json);
+      // It must actually span shards: the folded step counter is all four
+      // shards' steps, not one shard's.
+      const auto it = fold.counters.find("sim.steps");
+      ASSERT_NE(it, fold.counters.end());
+      EXPECT_EQ(it->second, 4 * (20'000 / cfg.shard.step_ms));
+    } else {
+      EXPECT_EQ(merged_json, reference) << "grid_threads=" << threads;
+    }
+  }
+}
+
 TEST(GridParallel, UpstreamFlaggedAttackerRejectedAtDownstreamIm) {
   GridConfig cfg = lattice(2, 2);
   cfg.shard.duration_ms = 90'000;

@@ -1,0 +1,149 @@
+// nwade-stream-v1 wire layer (ctest label: obs): framing round-trips through
+// the incremental parser under arbitrary split points, corruption is
+// detected rather than misparsed, and the top-level field extractors are not
+// fooled by identically named keys inside embedded objects.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "svc/frame.h"
+
+namespace nwade::svc {
+namespace {
+
+TEST(Frame, EncodeIsLengthNewlineJsonNewline) {
+  EXPECT_EQ(encode_frame("{}"), "2\n{}\n");
+  EXPECT_EQ(encode_frame("{\"a\": 1}"), "8\n{\"a\": 1}\n");
+}
+
+TEST(Frame, BuilderFixedHeaderOrderAndEscaping) {
+  const std::string json = FrameBuilder("hello", 7, 1'500)
+                               .field("schema", kStreamSchema)
+                               .field("n", std::int64_t{-3})
+                               .field("quote", "a\"b\\c\nd")
+                               .raw("obj", "{\"x\": 1}")
+                               .take();
+  EXPECT_EQ(json,
+            "{\"kind\": \"hello\", \"seq\": 7, \"t_ms\": 1500, "
+            "\"schema\": \"nwade-stream-v1\", \"n\": -3, "
+            "\"quote\": \"a\\\"b\\\\c\\nd\", \"obj\": {\"x\": 1}}");
+}
+
+TEST(Frame, ParserRoundTripsWholeAndSplitFeeds) {
+  const std::vector<std::string> frames = {
+      FrameBuilder("a", 0, 0).take(),
+      FrameBuilder("b", 1, 100).field("v", std::int64_t{42}).take(),
+      FrameBuilder("c", 2, 200).field("s", "x").take(),
+  };
+  std::string wire;
+  for (const auto& f : frames) wire += encode_frame(f);
+
+  // Whole feed.
+  {
+    FrameParser p;
+    p.feed(wire);
+    std::string got;
+    for (const auto& f : frames) {
+      ASSERT_TRUE(p.next(got));
+      EXPECT_EQ(got, f);
+    }
+    EXPECT_FALSE(p.next(got));
+    EXPECT_FALSE(p.corrupt());
+    EXPECT_EQ(p.pending(), 0u);
+  }
+  // Byte-at-a-time feed: the parser must never need a whole frame at once.
+  {
+    FrameParser p;
+    std::string got;
+    std::size_t popped = 0;
+    for (char c : wire) {
+      p.feed({&c, 1});
+      while (p.next(got)) {
+        ASSERT_LT(popped, frames.size());
+        EXPECT_EQ(got, frames[popped++]);
+      }
+    }
+    EXPECT_EQ(popped, frames.size());
+    EXPECT_FALSE(p.corrupt());
+  }
+}
+
+TEST(Frame, ParserHoldsPartialTailWithoutCorruption) {
+  const std::string frame = encode_frame(FrameBuilder("a", 0, 0).take());
+  FrameParser p;
+  p.feed(frame.substr(0, frame.size() - 3));
+  std::string got;
+  EXPECT_FALSE(p.next(got));
+  EXPECT_FALSE(p.corrupt());
+  p.feed(frame.substr(frame.size() - 3));
+  EXPECT_TRUE(p.next(got));
+  EXPECT_EQ(got, FrameBuilder("a", 0, 0).take());
+}
+
+TEST(Frame, ParserFlagsCorruptStreams) {
+  {  // non-digit length prefix
+    FrameParser p;
+    p.feed("x2\n{}\n");
+    std::string got;
+    EXPECT_FALSE(p.next(got));
+    EXPECT_TRUE(p.corrupt());
+    // A corrupt parser stays corrupt even with fresh valid bytes.
+    p.feed(encode_frame("{}"));
+    EXPECT_FALSE(p.next(got));
+  }
+  {  // payload not followed by newline
+    FrameParser p;
+    p.feed("2\n{}X");
+    std::string got;
+    EXPECT_FALSE(p.next(got));
+    EXPECT_TRUE(p.corrupt());
+  }
+  {  // absurd length prefix must not allocate/buffer forever
+    FrameParser p;
+    p.feed("99999999999999999999\n");
+    std::string got;
+    EXPECT_FALSE(p.next(got));
+    EXPECT_TRUE(p.corrupt());
+  }
+  {  // a long run with no newline is not a length prefix
+    FrameParser p;
+    p.feed(std::string(64, '1'));
+    std::string got;
+    EXPECT_FALSE(p.next(got));
+    EXPECT_TRUE(p.corrupt());
+  }
+}
+
+TEST(Frame, FieldExtractorsReadTopLevelOnly) {
+  const std::string json =
+      "{\"kind\": \"metrics\", \"seq\": 7, \"t_ms\": -200, "
+      "\"delta\": {\"seq\": 999, \"name\": \"inner\", \"arr\": [1, 2]}, "
+      "\"name\": \"outer \\\"q\\\"\", \"after\": 5}";
+  EXPECT_EQ(frame_int(json, "seq").value_or(-1), 7);
+  EXPECT_EQ(frame_int(json, "t_ms").value_or(0), -200);
+  EXPECT_EQ(frame_int(json, "after").value_or(-1), 5);
+  EXPECT_EQ(frame_str(json, "kind").value_or(""), "metrics");
+  EXPECT_EQ(frame_str(json, "name").value_or(""), "outer \"q\"");
+  EXPECT_EQ(frame_raw(json, "delta").value_or(""),
+            "{\"seq\": 999, \"name\": \"inner\", \"arr\": [1, 2]}");
+  EXPECT_FALSE(frame_int(json, "missing").has_value());
+  EXPECT_FALSE(frame_int(json, "kind").has_value());   // not an integer
+  EXPECT_FALSE(frame_str(json, "seq").has_value());    // not a string
+  EXPECT_FALSE(frame_int(json, "arr").has_value());    // nested key invisible
+}
+
+TEST(Frame, BuilderOutputSurvivesItsOwnExtractors) {
+  const std::string json = FrameBuilder("health", 12, 3'000)
+                               .field("shard", std::int64_t{3})
+                               .field("active", std::int64_t{41})
+                               .take();
+  EXPECT_EQ(frame_str(json, "kind").value_or(""), "health");
+  EXPECT_EQ(frame_int(json, "seq").value_or(-1), 12);
+  EXPECT_EQ(frame_int(json, "t_ms").value_or(-1), 3'000);
+  EXPECT_EQ(frame_int(json, "shard").value_or(-1), 3);
+  EXPECT_EQ(frame_int(json, "active").value_or(-1), 41);
+}
+
+}  // namespace
+}  // namespace nwade::svc

@@ -1,0 +1,154 @@
+// Stream sinks (ctest label: obs-chaos — the TCP test moves real bytes over
+// loopback): ring bounding, file tailing, and the non-blocking TCP broadcast
+// server including late-joiner greetings and slow-consumer drops.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "svc/frame.h"
+#include "svc/sink.h"
+
+namespace nwade::svc {
+namespace {
+
+TEST(RingSink, KeepsLastNFramesAndCountsDrops) {
+  RingSink ring(2);
+  ring.write("a\n");
+  ring.write("b\n");
+  EXPECT_EQ(ring.joined(), "a\nb\n");
+  EXPECT_EQ(ring.dropped(), 0u);
+  ring.write("c\n");
+  EXPECT_EQ(ring.joined(), "b\nc\n");
+  EXPECT_EQ(ring.dropped(), 1u);
+}
+
+TEST(FileSink, AppendContinuesTruncateRestarts) {
+  const std::string path = ::testing::TempDir() + "sink_test.stream";
+  {
+    FileSink s(path);
+    ASSERT_TRUE(s.ok());
+    s.write("one\n");
+  }
+  {
+    FileSink s(path, /*append=*/true);
+    ASSERT_TRUE(s.ok());
+    s.write("two\n");
+  }
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  char buf[64] = {};
+  const std::size_t n = std::fread(buf, 1, sizeof(buf), f);
+  std::fclose(f);
+  EXPECT_EQ(std::string(buf, n), "one\ntwo\n");
+  {
+    FileSink s(path);  // truncate mode starts the stream over
+    s.write("three\n");
+  }
+  f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  const std::size_t n2 = std::fread(buf, 1, sizeof(buf), f);
+  std::fclose(f);
+  EXPECT_EQ(std::string(buf, n2), "three\n");
+  std::remove(path.c_str());
+}
+
+int connect_loopback(int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+/// Drains up to `want` bytes with a bounded number of pump/read rounds.
+std::string read_bytes(TcpServerSink& sink, int fd, std::size_t want) {
+  std::string out;
+  char buf[4096];
+  for (int round = 0; round < 200 && out.size() < want; ++round) {
+    sink.pump();
+    const long n = ::recv(fd, buf, sizeof(buf), MSG_DONTWAIT);
+    if (n > 0) out.append(buf, static_cast<std::size_t>(n));
+  }
+  return out;
+}
+
+TEST(TcpServerSink, BroadcastsFramesAndGreetsLateJoiners) {
+  TcpServerSink sink(0);  // ephemeral port
+  ASSERT_TRUE(sink.ok());
+  ASSERT_GT(sink.port(), 0);
+  sink.set_greeting([] { return std::string("greeting\n"); });
+
+  const int a = connect_loopback(sink.port());
+  ASSERT_GE(a, 0);
+  sink.pump();  // accept
+  EXPECT_EQ(sink.client_count(), 1);
+
+  const std::string f1 = encode_frame("{\"n\": 1}");
+  sink.write(f1);
+  EXPECT_EQ(read_bytes(sink, a, std::string("greeting\n").size() + f1.size()),
+            "greeting\n" + f1);
+
+  // A client that joins mid-stream gets the greeting, then only new frames.
+  const int b = connect_loopback(sink.port());
+  ASSERT_GE(b, 0);
+  const std::string f2 = encode_frame("{\"n\": 2}");
+  sink.write(f2);  // write() also accepts pending connections
+  EXPECT_EQ(sink.client_count(), 2);
+  EXPECT_EQ(read_bytes(sink, b, std::string("greeting\n").size() + f2.size()),
+            "greeting\n" + f2);
+  EXPECT_EQ(read_bytes(sink, a, f2.size()), f2);
+
+  EXPECT_EQ(sink.clients_accepted(), 2u);
+  EXPECT_EQ(sink.clients_dropped(), 0u);
+  ::close(a);
+  ::close(b);
+}
+
+TEST(TcpServerSink, DropsStalledClientInsteadOfBlocking) {
+  TcpServerSink sink(0, /*max_backlog_bytes=*/1024);
+  ASSERT_TRUE(sink.ok());
+  const int fd = connect_loopback(sink.port());
+  ASSERT_GE(fd, 0);
+  sink.pump();
+  ASSERT_EQ(sink.client_count(), 1);
+  // Never read from fd: the socket buffers fill, then the sink-side backlog
+  // exceeds its cap and the client is dropped. write() must stay prompt
+  // throughout — this loop hanging IS the failure mode under test.
+  const std::string frame = encode_frame(std::string(4096, 'x'));
+  for (int i = 0; i < 4096 && sink.client_count() > 0; ++i) sink.write(frame);
+  EXPECT_EQ(sink.client_count(), 0);
+  EXPECT_EQ(sink.clients_dropped(), 1u);
+  ::close(fd);
+}
+
+TEST(TcpServerSink, PeerDisconnectIsDetectedOnWrite) {
+  TcpServerSink sink(0);
+  ASSERT_TRUE(sink.ok());
+  const int fd = connect_loopback(sink.port());
+  ASSERT_GE(fd, 0);
+  sink.pump();
+  ASSERT_EQ(sink.client_count(), 1);
+  ::close(fd);
+  const std::string frame = encode_frame("{}");
+  // First write may land in the kernel buffer of the dying socket; within a
+  // couple of writes the peer reset must surface and the client go away.
+  for (int i = 0; i < 10 && sink.client_count() > 0; ++i) sink.write(frame);
+  EXPECT_EQ(sink.client_count(), 0);
+}
+
+}  // namespace
+}  // namespace nwade::svc

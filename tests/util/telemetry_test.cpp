@@ -142,6 +142,110 @@ TEST(Telemetry, SnapshotIsByteIdenticalAcrossPoolSizes) {
   EXPECT_EQ(inline_run, run(8));
 }
 
+TEST(Telemetry, QuantileUpperEdgeUsesIntegerRanks) {
+  Registry r;
+  Histogram h = r.histogram("lat", HistogramBuckets{{0, 1, 2, 4, 8}});
+  // Empty histogram: no rank exists.
+  EXPECT_EQ(r.snapshot().histograms.at("lat").quantile_upper_edge(50), -1);
+
+  // 10 observations: 5 land in the <=1 bucket, 4 in <=4, 1 overflows.
+  for (int i = 0; i < 5; ++i) h.observe(1);
+  for (int i = 0; i < 4; ++i) h.observe(3);
+  h.observe(100);
+  const MetricsSnapshot::HistogramData d = r.snapshot().histograms.at("lat");
+  // rank(p50) = ceil(10 * 50 / 100) = 5 -> still inside the <=1 bucket.
+  EXPECT_EQ(d.quantile_upper_edge(50), 1);
+  // rank(p90) = 9 -> the <=4 bucket.
+  EXPECT_EQ(d.quantile_upper_edge(90), 4);
+  // rank(p99) = 10 -> the overflow bucket: only ">last edge" is known.
+  EXPECT_EQ(d.quantile_upper_edge(99), -1);
+  EXPECT_EQ(d.quantile_upper_edge(100), -1);
+  EXPECT_EQ(d.quantile_upper_edge(1), 1);
+}
+
+TEST(Telemetry, JsonCarriesQuantileRows) {
+  Registry r;
+  Histogram h = r.histogram("lat", HistogramBuckets::exponential_ms(16));
+  for (int i = 0; i < 100; ++i) h.observe(i % 10);
+  const MetricsSnapshot snap = r.snapshot();
+  for (const std::string& json : {snap.json(), snap.json_compact()}) {
+    EXPECT_NE(json.find("\"p50\": "), std::string::npos) << json;
+    EXPECT_NE(json.find("\"p90\": "), std::string::npos) << json;
+    EXPECT_NE(json.find("\"p99\": "), std::string::npos) << json;
+    EXPECT_TRUE(nwade::bench::json_well_formed(json)) << json;
+  }
+}
+
+TEST(Telemetry, DiffOmitsUnchangedAndMergeReproduces) {
+  Registry r;
+  Counter a = r.counter("a");
+  Counter b = r.counter("b");
+  Gauge g = r.gauge("g");
+  Histogram h = r.histogram("h", HistogramBuckets{{1, 2}});
+  a.inc(5);
+  g.set(3);
+  h.observe(1);
+  MetricsSnapshot before = r.snapshot();
+
+  a.inc(2);
+  b.inc(4);
+  g.set(9);
+  h.observe(2);
+  Gauge g2 = r.gauge("g2");
+  g2.set(1);
+  const MetricsSnapshot after = r.snapshot();
+
+  const MetricsSnapshot delta = after.diff(before);
+  // Changed and newly-registered entries are present; counters as deltas.
+  EXPECT_EQ(delta.counters.at("a"), 2);
+  EXPECT_EQ(delta.counters.at("b"), 4);
+  EXPECT_EQ(delta.gauges.at("g"), 9);  // gauges carry the new value
+  EXPECT_EQ(delta.gauges.at("g2"), 1);
+  EXPECT_EQ(delta.histograms.at("h").count, 1);
+  EXPECT_EQ(delta.histograms.at("h").sum, 2);
+
+  // The defining property: prev.merge(diff) reproduces the later snapshot.
+  before.merge(delta);
+  EXPECT_EQ(before.json(), after.json());
+}
+
+TEST(Telemetry, DiffAgainstSelfIsEmptyAndFoldOfDiffsReconstructs) {
+  Registry r;
+  Counter c = r.counter("c");
+  Histogram h = r.histogram("h", HistogramBuckets{{1, 2, 4}});
+  Gauge g = r.gauge("g");
+
+  MetricsSnapshot acc;  // receiver-side fold, starts empty
+  MetricsSnapshot prev;
+  for (int round = 0; round < 5; ++round) {
+    c.inc(round);  // round 0 adds nothing: the delta must still carry the key
+    if (round % 2 == 0) g.set(round);
+    h.observe(round);
+    const MetricsSnapshot snap = r.snapshot();
+    const MetricsSnapshot delta = snap.diff(prev);
+    acc.merge(delta);
+    prev = snap;
+  }
+  EXPECT_EQ(acc.json(), r.snapshot().json());
+  // No change between snapshots -> a fully empty delta.
+  EXPECT_TRUE(r.snapshot().diff(prev).empty());
+}
+
+TEST(Telemetry, DiffCarriesReshapedHistogramsWhole) {
+  Registry r1;
+  r1.histogram("h", HistogramBuckets{{1, 2}}).observe(1);
+  Registry r2;
+  r2.histogram("h", HistogramBuckets{{1, 2, 4}}).observe(3);
+  const MetricsSnapshot prev = r1.snapshot();
+  const MetricsSnapshot cur = r2.snapshot();
+  const MetricsSnapshot delta = cur.diff(prev);
+  // Shape changed (registry re-created differently): carried whole, not as
+  // a bucket-wise delta that no receiver could apply.
+  EXPECT_EQ(delta.histograms.at("h").upper_edges,
+            (std::vector<std::int64_t>{1, 2, 4}));
+  EXPECT_EQ(delta.histograms.at("h").count, 1);
+}
+
 TEST(Telemetry, RegistryResetZeroesValuesButKeepsHandles) {
   Registry r;
   Counter c = r.counter("c");
